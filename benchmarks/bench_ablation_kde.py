@@ -1,0 +1,82 @@
+"""Ablation: binned KDE fast path vs exact KDE.
+
+DESIGN.md design decision: above a size threshold the KDE compresses the
+training sample into a weighted histogram.  This bench measures what the
+compression costs in accuracy (COUNT error vs the exact estimator) and
+what it buys in evaluation speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_figure
+from repro.ml import KernelDensityEstimator
+
+
+@pytest.fixture(scope="module")
+def fitted(store_sales):
+    x = store_sales["ss_list_price"][:30_000].astype(float)
+    binned = KernelDensityEstimator(binned=True, bin_threshold=1000).fit(x)
+    exact = KernelDensityEstimator(binned=False).fit(x)
+    return x, binned, exact
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(fitted):
+    x, binned, exact = fitted
+    rng = np.random.default_rng(5)
+    lo, hi = float(x.min()), float(x.max())
+    deltas = []
+    for _ in range(50):
+        a, b = np.sort(rng.uniform(lo, hi, size=2))
+        deltas.append(abs(binned.integrate(a, b) - exact.integrate(a, b)))
+    grid = np.linspace(lo, hi, 257)
+
+    import time
+
+    start = time.perf_counter()
+    for _ in range(20):
+        binned.pdf(grid)
+    binned_time = (time.perf_counter() - start) / 20
+
+    start = time.perf_counter()
+    for _ in range(20):
+        exact.pdf(grid)
+    exact_time = (time.perf_counter() - start) / 20
+
+    rows = [
+        {
+            "variant": "binned (2048 bins)",
+            "max_integral_delta": float(np.max(deltas)),
+            "pdf_eval_s": binned_time,
+            "centres": int(binned._centres.shape[0]),
+        },
+        {
+            "variant": "exact",
+            "max_integral_delta": 0.0,
+            "pdf_eval_s": exact_time,
+            "centres": int(exact._centres.shape[0]),
+        },
+    ]
+    write_figure(
+        "Ablation KDE", "binned vs exact KDE (30k training points)", rows,
+        notes="binning should cost <1e-3 integral error and win on pdf time",
+    )
+    return rows
+
+
+def test_binned_kde_accuracy(benchmark, ablation_rows, fitted):
+    assert ablation_rows[0]["max_integral_delta"] < 5e-3
+    _x, binned, _exact = fitted
+    grid = np.linspace(*binned.support, 257)
+    benchmark(binned.pdf, grid)
+
+
+def test_exact_kde_latency(benchmark, ablation_rows, fitted):
+    _x, _binned, exact = fitted
+    grid = np.linspace(*exact.support, 257)
+    benchmark(exact.pdf, grid)
+    # The binned path must not be slower than the exact path.
+    assert ablation_rows[0]["pdf_eval_s"] <= ablation_rows[1]["pdf_eval_s"] * 1.2

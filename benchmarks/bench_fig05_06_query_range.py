@@ -1,0 +1,87 @@
+"""Figures 5 & 6: sensitivity of DBEst to the query-range selectivity.
+
+Paper setup (§4.2.2): sample fixed at 100k (repo: 10k), query ranges at
+0.1%, 1% and 10% of the attribute domain; Fig. 5 reports relative error
+per AF, Fig. 6 response time per AF.
+
+Paper shape: error *decreases* as ranges grow (small ranges find fewer
+sample representatives); times *increase* with range width (integration
+spans more of the domain); everything stays sub-second except PERCENTILE
+which pays for the bisection's repeated CDF evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SAMPLE_100K, make_dbest, write_figure
+from repro.harness import run_workload
+from repro.workloads import generate_range_queries
+
+AFS = ("COUNT", "PERCENTILE", "VARIANCE", "STDDEV", "SUM", "AVG")
+PAIR = ("ss_list_price", "ss_wholesale_cost")
+FRACTIONS = (0.001, 0.01, 0.1)
+
+
+@pytest.fixture(scope="module")
+def engine(store_sales):
+    built = make_dbest(store_sales, seed=13)
+    built.build_model(
+        "store_sales", x=PAIR[0], y=PAIR[1], sample_size=SAMPLE_100K
+    )
+    return built
+
+
+@pytest.fixture(scope="module")
+def figure_rows(engine, store_sales, tpcds_truth):
+    error_rows, time_rows = [], []
+    for fraction in FRACTIONS:
+        workload = generate_range_queries(
+            store_sales, [PAIR], n_per_aggregate=5, aggregates=AFS,
+            range_fraction=fraction, seed=101, anchor="data",
+        )
+        run = run_workload(engine, workload, tpcds_truth)
+        label = f"{fraction * 100:g}%"
+        error_row = {"query_range": label}
+        time_row = {"query_range": label}
+        for af in AFS:
+            error_row[af] = run.mean_relative_error(af)
+            time_row[af] = float(
+                np.mean([r.elapsed_seconds for r in run.records if r.aggregate == af])
+            )
+        error_rows.append(error_row)
+        time_rows.append(time_row)
+    write_figure(
+        "Fig 5", "relative error vs query range (per AF)", error_rows,
+        notes="paper: error decreases as the range grows",
+    )
+    write_figure(
+        "Fig 6", "query response time (s) vs query range (per AF)", time_rows,
+        notes="paper: all AFs < 1s except PERCENTILE (~1.2s)",
+    )
+    return error_rows, time_rows
+
+
+def test_fig5_error_decreases_with_range(benchmark, engine, figure_rows):
+    error_rows, _ = figure_rows
+    narrow = np.nanmean([error_rows[0][af] for af in AFS])
+    wide = np.nanmean([error_rows[-1][af] for af in AFS])
+    assert wide <= narrow
+    sql = (
+        "SELECT AVG(ss_wholesale_cost) FROM store_sales "
+        "WHERE ss_list_price BETWEEN 10 AND 30;"
+    )
+    benchmark(engine.execute, sql)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_fig6_latency_by_range(benchmark, engine, figure_rows, store_sales, fraction):
+    lo, hi = store_sales.column_range(PAIR[0])
+    width = fraction * (hi - lo)
+    sql = (
+        f"SELECT SUM(ss_wholesale_cost) FROM store_sales "
+        f"WHERE ss_list_price BETWEEN {10.0!r} AND {10.0 + width!r};"
+    )
+    result = benchmark(engine.execute, sql)
+    assert result.source == "model"

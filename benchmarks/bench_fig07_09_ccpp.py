@@ -1,0 +1,95 @@
+"""Figures 7, 8 & 9: the CCPP workload — DBEst vs VerdictDB vs BlinkDB.
+
+Paper setup (§4.3): CCPP scaled to 2.6B rows (repo: 200k), 108 random
+COUNT/SUM/AVG queries over the [T,EP], [AP,EP], [RH,EP] column pairs with
+low-selectivity ranges; engines compared at 10k and 100k sample sizes
+(repo: 2k / 10k).
+
+Paper shape: at the small sample DBEst's overall error (3.5%) is ~3x
+better than VerdictDB's (>10%), BlinkDB worse than VerdictDB; at the
+large sample the gap narrows (1.9% vs 3.5%).  DBEst answers in
+0.02–0.27s single-threaded vs VerdictDB's 0.6–0.9s on 12 cores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    SAMPLE_10K,
+    SAMPLE_100K,
+    make_dbest,
+    write_figure,
+)
+from repro import StratifiedAQPEngine, UniformAQPEngine
+from repro.harness import compare_engines, summarize_by_aggregate
+from repro.workloads import CCPP_COLUMN_PAIRS, generate_range_queries
+
+AFS = ("COUNT", "SUM", "AVG")
+
+
+def _build_engines(ccpp, size):
+    dbest = make_dbest(ccpp, seed=13)
+    for x, y in CCPP_COLUMN_PAIRS:
+        dbest.build_model("ccpp", x=x, y=y, sample_size=size)
+
+    verdict = UniformAQPEngine(sample_size=size, random_seed=13)
+    verdict.register_table(ccpp)
+    verdict.prepare_table("ccpp")
+
+    blink = StratifiedAQPEngine(random_seed=13)
+    # BlinkDB stratifies on the workload's predicate columns; whole-degree
+    # temperature bins stand in for its column-set strata (stratifying on
+    # the raw continuous column would keep one row per distinct value,
+    # i.e. degenerate to the full table).
+    binned = ccpp.with_column("T_bin", ccpp["T"].round())
+    blink.register_table(binned)
+    blink.prepare_table("ccpp", stratify_on="T_bin", sample_size=size)
+    return {"DBEst": dbest, "VerdictDB": verdict, "BlinkDB": blink}
+
+
+@pytest.fixture(scope="module", params=[("10k", SAMPLE_10K), ("100k", SAMPLE_100K)],
+                ids=["10k", "100k"])
+def comparison(request, ccpp, ccpp_truth):
+    label, size = request.param
+    engines = _build_engines(ccpp, size)
+    workload = generate_range_queries(
+        ccpp, CCPP_COLUMN_PAIRS, n_per_aggregate=6, aggregates=AFS,
+        range_fraction=[0.001, 0.005, 0.01], seed=103, anchor="data",
+    )
+    runs = compare_engines(engines, workload, ccpp_truth)
+    rows = summarize_by_aggregate(runs, aggregates=AFS)
+    figure = "Fig 7" if label == "10k" else "Fig 8"
+    write_figure(
+        figure, f"CCPP relative error by engine ({label} samples)", rows,
+        notes="paper: DBEst overall 3.5% (10k) / 1.9% (100k); "
+        "VerdictDB >10% / 3.5%; BlinkDB worst",
+    )
+    time_rows = [
+        {"engine": name, "mean_latency_s": run.mean_latency()}
+        for name, run in runs.items()
+        if name != "BlinkDB"
+    ]
+    write_figure(
+        f"Fig 9 ({label})", f"CCPP response time ({label} samples)", time_rows,
+        notes="paper: DBEst 0.02-0.27s single-thread, VerdictDB 0.6-0.9s on 12 cores",
+    )
+    return label, engines, runs
+
+
+def test_ccpp_dbest_beats_verdict_at_small_samples(benchmark, comparison):
+    label, engines, runs = comparison
+    if label == "10k":
+        assert (
+            runs["DBEst"].mean_relative_error()
+            <= runs["VerdictDB"].mean_relative_error() * 1.5
+        )
+    sql = "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 12;"
+    result = benchmark(engines["DBEst"].execute, sql)
+    assert result.source == "model"
+
+
+def test_ccpp_verdict_latency(benchmark, comparison):
+    _label, engines, _runs = comparison
+    sql = "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 12;"
+    benchmark(engines["VerdictDB"].execute, sql)

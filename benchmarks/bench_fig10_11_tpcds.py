@@ -1,0 +1,125 @@
+"""Figures 10 & 11: the TPC-DS multi-column-pair workload.
+
+Paper setup (§4.4): ~100 SELECT-FROM-WHERE queries over 16 column pairs;
+DBEst vs VerdictDB at 10k and 100k samples (repo: 2k / 10k over a
+150k-row store_sales).
+
+Paper shape: DBEst beats VerdictDB clearly at the small sample (5.26% vs
+>10% overall) and slightly at the large one; DBEst answers 3.5x–16x
+faster despite VerdictDB using all cores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    SAMPLE_10K,
+    SAMPLE_100K,
+    make_dbest,
+    write_figure,
+)
+from repro import UniformAQPEngine
+from repro.harness import compare_engines, summarize_by_aggregate
+from repro.workloads import TPCDS_COLUMN_PAIRS, generate_range_queries
+
+AFS = ("COUNT", "SUM", "AVG")
+# A representative subset of the paper's 16 pairs keeps bench runtime sane;
+# the multi-pair structure (different x distributions) is what matters.
+PAIRS = TPCDS_COLUMN_PAIRS[:6]
+
+
+@pytest.fixture(scope="module")
+def comparison(store_sales, tpcds_truth):
+    results = {}
+    workload = generate_range_queries(
+        store_sales, PAIRS, n_per_aggregate=4, aggregates=AFS,
+        range_fraction=[0.01, 0.05], seed=107, anchor="data",
+    )
+    for label, size in (("10k", SAMPLE_10K), ("100k", SAMPLE_100K)):
+        dbest = make_dbest(store_sales, regressor="xgboost", seed=13)
+        for x, y in PAIRS:
+            dbest.build_model("store_sales", x=x, y=y, sample_size=size)
+        verdict = UniformAQPEngine(sample_size=size, random_seed=13)
+        verdict.register_table(store_sales)
+        verdict.prepare_table("store_sales")
+        runs = compare_engines(
+            {f"DBEst_{label}": dbest, f"VerdictDB_{label}": verdict},
+            workload,
+            tpcds_truth,
+        )
+        results[label] = (dbest, verdict, runs)
+
+    error_rows = []
+    time_rows = []
+    for label, (_d, _v, runs) in results.items():
+        error_rows.extend(summarize_by_aggregate(runs, aggregates=AFS))
+        for name, run in runs.items():
+            time_rows.append({"engine": name, "mean_latency_s": run.mean_latency()})
+    time_rows.append(_paper_scale_latency_row())
+    write_figure(
+        "Fig 10", "TPC-DS relative error: DBEst vs VerdictDB", error_rows,
+        notes="paper: overall 5.26% (DBEst_10k) vs >10% (VerdictDB_10k); "
+        "both excellent at 100k",
+    )
+    write_figure(
+        "Fig 11", "TPC-DS response time: DBEst vs VerdictDB", time_rows,
+        notes="paper: DBEst <0.02s / 0.12s vs VerdictDB 0.33-0.40s. "
+        "Sample-scan latency grows linearly with the sample; DBEst's is "
+        "flat — the paper-scale row scans a 2M-row sample (the paper's "
+        "samples are >=10M rows) and loses to DBEst.",
+    )
+    return results
+
+
+def _paper_scale_latency_row() -> dict:
+    """Latency of sample scanning at a paper-scale sample size.
+
+    The repo's scaled samples (2k-30k rows) are so small that numpy scans
+    them in sub-millisecond time, hiding the paper's latency story.  The
+    story is about asymptotics: VerdictDB scans samples of >=10M rows per
+    query while DBEst evaluates fixed-size models.  One 2M-row sample
+    makes the crossover visible on this machine.
+    """
+    import numpy as np
+
+    from repro import UniformAQPEngine
+    from repro.workloads import generate_store_sales
+
+    big = generate_store_sales(2_000_000, seed=19)
+    verdict = UniformAQPEngine(sample_size=2_000_000, random_seed=19)
+    verdict.register_table(big)
+    verdict.prepare_table("store_sales")
+    sql = (
+        "SELECT AVG(ss_wholesale_cost) FROM store_sales "
+        "WHERE ss_list_price BETWEEN 15 AND 25;"
+    )
+    times = []
+    for _ in range(5):
+        times.append(verdict.execute(sql).elapsed_seconds)
+    return {
+        "engine": "VerdictDB_paper_scale(2m rows)",
+        "mean_latency_s": float(np.mean(times)),
+    }
+
+
+def test_fig10_small_sample_advantage(benchmark, comparison):
+    _dbest, _verdict, runs = comparison["10k"]
+    dbest_err = runs["DBEst_10k"].mean_relative_error()
+    assert dbest_err < 0.25
+    sql = (
+        "SELECT SUM(ss_wholesale_cost) FROM store_sales "
+        "WHERE ss_list_price BETWEEN 15 AND 25;"
+    )
+    benchmark(comparison["10k"][0].execute, sql)
+
+
+@pytest.mark.parametrize("label", ["10k", "100k"])
+def test_fig11_latency(benchmark, comparison, label):
+    dbest, _verdict, _runs = comparison[label]
+    sql = (
+        "SELECT AVG(ss_wholesale_cost) FROM store_sales "
+        "WHERE ss_list_price BETWEEN 15 AND 25;"
+    )
+    result = benchmark(dbest.execute, sql)
+    assert result.source == "model"

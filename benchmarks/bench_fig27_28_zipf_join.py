@@ -1,0 +1,142 @@
+"""Figures 27 & 28 (Appendix C): joins under skewed key distributions.
+
+Paper setup: tables A(x, y) and B(z, y) joined on y, where y has a
+Zipf(s=2) *skewed region* and a uniform *non-skewed region*; 20 queries
+(10 per region) aggregate COUNT/SUM/AVG of z for specific key ranges.
+Approximate MonetDB answers over uniform samples of B; a uniform sample
+contains (almost) no rows for the Zipf tail keys, so on the skewed
+region it "could not answer any query with the 10k samples" and stays
+at 25%+ error even at 1m.  DBEst keeps per-key-value models over the
+precomputed join (its nominal-categorical-attribute mechanism) and is
+accurate everywhere.
+
+Repo mapping: B has 200k rows; samples 2k/10k/30k stand in for
+10k/100k/1m.  Queries target individual keys — popular and tail — in
+each region.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import make_dbest, write_figure
+from repro import ExactEngine
+from repro.sampling import uniform_sample_table
+from repro.workloads import generate_zipf_join_tables
+
+AFS = ("COUNT", "SUM", "AVG")
+SIZES = {"10k": 2_000, "100k": 10_000, "1m": 30_000}
+# Query keys per region: a mix of popular and tail ranks.
+SKEWED_KEYS = (1, 2, 3, 5, 8, 12, 18, 25, 35, 48)
+UNIFORM_KEYS = (51, 55, 60, 65, 70, 75, 80, 85, 90, 99)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_zipf_join_tables(
+        n_dim_rows=200, n_fact_rows=200_000, s=2.0, seed=41
+    )
+
+
+@pytest.fixture(scope="module")
+def truth(tables):
+    a, b = tables
+    engine = ExactEngine()
+    engine.register_table(a)
+    engine.register_table(b)
+    return engine
+
+
+def _query(af: str, key: int) -> str:
+    return (
+        f"SELECT {af}(z) FROM zipf_a JOIN zipf_b ON y = y "
+        f"WHERE x BETWEEN -1000 AND 1000 AND y = {key};"
+    )
+
+
+@pytest.fixture(scope="module")
+def engines(tables):
+    a, b = tables
+    built = {}
+    dbest = make_dbest(a, b, regressor="plr", seed=13, min_group_rows=30)
+    # Per-key models over the precomputed join: DBEst's treatment of
+    # nominal attributes mirrors GROUP BY (paper §2.3).
+    dbest.build_join_model(
+        "zipf_a", "zipf_b", "y", "y", x="x", y="z",
+        sample_size=50_000, group_by="y",
+    )
+    built["DBEst"] = dbest
+    for label, size in SIZES.items():
+        monet = ExactEngine()
+        sample = uniform_sample_table(b, size, rng=np.random.default_rng(13))
+        renamed = sample.select(sample.column_names, name="zipf_b")
+        monet.register_sample(renamed, population_size=b.n_rows)
+        monet.register_table(a)
+        built[f"MonetDB_{label}"] = monet
+    return built
+
+
+def _mean_error(engine, truth, keys) -> float:
+    errors = []
+    for key in keys:
+        for af in AFS:
+            sql = _query(af, key)
+            expected = truth.execute(sql).scalar()
+            if isinstance(expected, float) and math.isnan(expected):
+                continue
+            try:
+                got = engine.execute(sql).scalar()
+            except Exception:
+                errors.append(1.0)  # could not answer (paper's failure case)
+                continue
+            if isinstance(got, float) and math.isnan(got):
+                errors.append(1.0)
+            elif expected == 0.0:
+                errors.append(abs(got))
+            else:
+                errors.append(min(abs(got - expected) / abs(expected), 1.0))
+    return float(np.mean(errors))
+
+
+@pytest.fixture(scope="module")
+def figure27(engines, truth):
+    rows = []
+    for region_name, keys in (("skewed", SKEWED_KEYS), ("non-skewed", UNIFORM_KEYS)):
+        for name, engine in engines.items():
+            rows.append(
+                {
+                    "region": region_name,
+                    "engine": name,
+                    "mean_rel_error": _mean_error(engine, truth, keys),
+                }
+            )
+    write_figure(
+        "Fig 27", "join accuracy under Zipf skew (per-key queries)", rows,
+        notes="paper: MonetDB cannot answer tail-key queries from small "
+        "samples and keeps 25%+ error at 1m; DBEst 1.7-3.5% everywhere",
+    )
+    return rows
+
+
+def test_fig27_dbest_robust_to_skew(benchmark, engines, figure27):
+    by_key = {(r["region"], r["engine"]): r["mean_rel_error"] for r in figure27}
+    assert by_key[("skewed", "DBEst")] < 0.25
+    # Small-sample scanning collapses on the skewed region; DBEst does not.
+    assert by_key[("skewed", "MonetDB_10k")] > 2 * by_key[("skewed", "DBEst")]
+    benchmark(engines["DBEst"].execute, _query("AVG", 25))
+
+
+def test_fig27_nonskewed_sanity(benchmark, engines, figure27):
+    by_key = {(r["region"], r["engine"]): r["mean_rel_error"] for r in figure27}
+    # On the uniform region large samples answer well.
+    assert by_key[("non-skewed", "MonetDB_1m")] < 0.25
+    benchmark(engines["MonetDB_1m"].execute, _query("AVG", 70))
+
+
+def test_fig28_monetdb_latency(benchmark, engines, figure27):
+    """Fig 28: MonetDB wins on raw per-query latency (columnar scan)."""
+    result = benchmark(engines["MonetDB_100k"].execute, _query("SUM", 70))
+    assert result.elapsed_seconds < 5.0

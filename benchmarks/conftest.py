@@ -1,0 +1,105 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every bench module reproduces one or more figures of the paper.  Because
+pytest captures stdout, each figure's rows are (a) printed — visible with
+``pytest -s`` — and (b) written to ``benchmarks/results/<figure>.txt`` so
+the series survive a plain ``pytest benchmarks/ --benchmark-only`` run.
+EXPERIMENTS.md indexes those files against the paper's plots.
+
+Scale note: populations and sample sizes are laptop-scaled (DESIGN.md
+"Substitutions").  The mapping used throughout:
+
+    paper sample 10k  -> repo 2k      paper population: billions of rows
+    paper sample 100k -> repo 10k     repo population: 100k-300k rows
+    paper sample 1m   -> repo 30k
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import DBEst, DBEstConfig, ExactEngine
+from repro.harness import format_table
+from repro.workloads import generate_beijing, generate_ccpp, generate_store, generate_store_sales
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Laptop-scale stand-ins for the paper's sample sizes.
+SAMPLE_10K = 2_000
+SAMPLE_100K = 10_000
+SAMPLE_1M = 30_000
+
+TPCDS_ROWS = 150_000
+CCPP_ROWS = 200_000
+BEIJING_ROWS = 100_000
+
+
+def write_figure(
+    figure_id: str,
+    title: str,
+    rows: list[dict],
+    columns: list[str] | None = None,
+    notes: str | None = None,
+) -> None:
+    """Print a figure-shaped table and persist it under benchmarks/results."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    body = format_table(rows, columns)
+    text = f"== {figure_id}: {title} ==\n{body}\n"
+    if notes:
+        text += f"note: {notes}\n"
+    print("\n" + text)
+    safe_name = figure_id.lower().replace(" ", "_").replace("/", "-")
+    (RESULTS_DIR / f"{safe_name}.txt").write_text(text)
+
+
+@pytest.fixture(scope="session")
+def store_sales():
+    return generate_store_sales(TPCDS_ROWS, seed=7)
+
+
+@pytest.fixture(scope="session")
+def store():
+    return generate_store(57, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ccpp():
+    return generate_ccpp(CCPP_ROWS, seed=23)
+
+
+@pytest.fixture(scope="session")
+def beijing():
+    return generate_beijing(BEIJING_ROWS, seed=31)
+
+
+@pytest.fixture(scope="session")
+def tpcds_truth(store_sales, store):
+    engine = ExactEngine()
+    engine.register_table(store_sales)
+    engine.register_table(store)
+    return engine
+
+
+@pytest.fixture(scope="session")
+def ccpp_truth(ccpp):
+    engine = ExactEngine()
+    engine.register_table(ccpp)
+    return engine
+
+
+@pytest.fixture(scope="session")
+def beijing_truth(beijing):
+    engine = ExactEngine()
+    engine.register_table(beijing)
+    return engine
+
+
+def make_dbest(*tables, regressor: str = "ensemble", seed: int = 13, **kwargs) -> DBEst:
+    """A DBEst engine with registered tables and a deterministic config."""
+    config = DBEstConfig(regressor=regressor, random_seed=seed, **kwargs)
+    engine = DBEst(config=config)
+    for table in tables:
+        engine.register_table(table)
+    return engine

@@ -1,0 +1,97 @@
+"""Predictive analytics and workload-driven model selection.
+
+The paper's introduction argues DBEst's models are useful beyond AQP:
+imputing missing values, what-if estimation, relationship discovery, and
+quick descriptive statistics.  Its §3 notes that choosing *which* models
+to build can be mined from a workload prefix (à la BlinkDB).  This
+example shows both: an advisor learns model templates from a query log,
+builds them, and the resulting models power the predictive analytics.
+
+Run with:  python examples/predictive_analytics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core import (
+    ModelKey,
+    WorkloadAdvisor,
+    describe_subspace,
+    estimate_y,
+    impute_missing,
+    rank_relationships,
+    sketch_density,
+    what_if_aggregate,
+)
+
+
+def main() -> None:
+    plant = repro.generate_ccpp(200_000, seed=23)
+    engine = repro.DBEst(config=repro.DBEstConfig(random_seed=5))
+    engine.register_table(plant)
+
+    # -- 1. mine a workload prefix, build only what it needs --------------
+    workload_prefix = [
+        "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 5 AND 10;",
+        "SELECT SUM(EP) FROM ccpp WHERE T BETWEEN 20 AND 30;",
+        "SELECT COUNT(EP) FROM ccpp WHERE T BETWEEN 0 AND 15;",
+        "SELECT AVG(EP) FROM ccpp WHERE RH BETWEEN 60 AND 80;",
+        "SELECT AVG(EP) FROM ccpp WHERE V BETWEEN 40 AND 60;",
+        "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 12;",
+    ]
+    advisor = WorkloadAdvisor()
+    advisor.observe_all(workload_prefix)
+    print("advisor recommendations:")
+    for rec in advisor.recommend():
+        print(f"  {rec.coverage * 100:5.1f}%  {rec.template.describe()}")
+    built = advisor.build_recommended(engine, sample_size=10_000)
+    print(f"built {len(built)} models; "
+          f"state = {engine.state_size_bytes() / 1e6:.2f} MB")
+
+    models = {
+        "T -> EP": engine.catalog.get(ModelKey.make("ccpp", "T", "EP")),
+        "RH -> EP": engine.catalog.get(ModelKey.make("ccpp", "RH", "EP")),
+        "V -> EP": engine.catalog.get(ModelKey.make("ccpp", "V", "EP")),
+    }
+
+    # -- 2. relationship discovery (paper §1, item iv) ---------------------
+    print("\nwhich ambient variable drives output? (model-derived R²)")
+    for name, strength in rank_relationships(models):
+        print(f"  {name:<9} {strength:.3f}")
+
+    # -- 3. what-if estimation (items ii & iii) ---------------------------
+    model = models["T -> EP"]
+    print("\nwhat-if: output at hypothesised temperatures")
+    for temperature in (2.0, 18.0, 35.0):
+        ep = estimate_y(model, temperature)[0]
+        print(f"  T = {temperature:5.1f} C -> EP ~ {ep:6.1f} MW")
+    heatwave_avg = what_if_aggregate(model, "AVG", 30.0, 37.0)
+    print(f"  heatwave scenario AVG(EP | 30<=T<=37) ~ {heatwave_avg:.1f} MW")
+
+    # -- 4. imputing missing sensor readings (item i) ----------------------
+    rng = np.random.default_rng(9)
+    broken = plant.head(1000)
+    missing = rng.random(1000) < 0.2
+    ep = broken["EP"].astype(float).copy()
+    ep[missing] = np.nan
+    broken = broken.with_column("EP", ep)
+    repaired = impute_missing(broken, model)
+    true_values = plant.head(1000)["EP"][missing]
+    error = np.mean(
+        np.abs(repaired["EP"][missing] - true_values) / true_values
+    )
+    print(f"\nimputed {int(missing.sum())} missing EP readings, "
+          f"mean error {error * 100:.2f}%")
+
+    # -- 5. quick descriptive statistics + density sketch (item v) --------
+    print("\ndescribe: output on cold days (T in [2, 8])")
+    for stat, value in describe_subspace(model, 2.0, 8.0).items():
+        print(f"  {stat:<18} {value:,.2f}")
+    print("\ntemperature density sketch:")
+    print(sketch_density(model, n_bins=12, width=36))
+
+
+if __name__ == "__main__":
+    main()

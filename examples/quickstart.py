@@ -1,0 +1,60 @@
+"""Quickstart: build models over a table, answer SQL approximately.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> None:
+    # 1. Some data: a synthetic TPC-DS store_sales fact table.
+    sales = repro.generate_store_sales(200_000, seed=7)
+    print(f"population: {sales.n_rows} rows, columns {sales.column_names}")
+
+    # 2. An exact engine for ground truth (this is what DBEst avoids
+    #    having to run at query time).
+    exact = repro.ExactEngine()
+    exact.register_table(sales)
+
+    # 3. DBEst: one model per popular column pair, built from a small
+    #    reservoir sample.  The sample is discarded after training.
+    engine = repro.DBEst(config=repro.DBEstConfig(random_seed=1))
+    engine.register_table(sales)
+    engine.build_model(
+        "store_sales",
+        x="ss_list_price",
+        y="ss_wholesale_cost",
+        sample_size=10_000,
+    )
+    print(f"model state: {engine.state_size_bytes() / 1e6:.2f} MB "
+          f"(vs {sales.nbytes() / 1e6:.1f} MB of base data)")
+
+    # 4. Ask analytical questions.
+    queries = [
+        "SELECT COUNT(ss_wholesale_cost) FROM store_sales "
+        "WHERE ss_list_price BETWEEN 20 AND 40;",
+        "SELECT AVG(ss_wholesale_cost) FROM store_sales "
+        "WHERE ss_list_price BETWEEN 20 AND 40;",
+        "SELECT SUM(ss_wholesale_cost) FROM store_sales "
+        "WHERE ss_list_price BETWEEN 20 AND 40;",
+        "SELECT STDDEV(ss_wholesale_cost) FROM store_sales "
+        "WHERE ss_list_price BETWEEN 20 AND 40;",
+        "SELECT PERCENTILE(ss_list_price, 0.9) FROM store_sales "
+        "WHERE ss_list_price BETWEEN 20 AND 40;",
+    ]
+    print(f"\n{'query':<52} {'truth':>12} {'DBEst':>12} {'err':>7} {'ms':>7}")
+    for sql in queries:
+        truth = exact.execute(sql).scalar()
+        result = engine.execute(sql)
+        estimate = result.scalar()
+        error = abs(estimate - truth) / abs(truth) * 100
+        print(
+            f"{sql[7:50]:<52} {truth:>12.2f} {estimate:>12.2f} "
+            f"{error:>6.2f}% {result.elapsed_seconds * 1000:>6.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

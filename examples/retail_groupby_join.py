@@ -1,0 +1,97 @@
+"""Retail warehouse analytics: GROUP BY, joins, bundles, parallelism.
+
+The paper's TPC-DS scenarios in one script: per-store revenue breakdowns
+(GROUP BY over 57 stores), fact ⋈ dimension joins answered from models of
+the precomputed join, model bundles serialised to disk for
+large-group-count queries, and parallel per-group evaluation.
+
+Run with:  python examples/retail_groupby_join.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import repro
+
+
+def main() -> None:
+    sales = repro.generate_store_sales(300_000, seed=7)
+    store = repro.generate_store(57, seed=11)
+    exact = repro.ExactEngine()
+    exact.register_table(sales)
+    exact.register_table(store)
+
+    engine = repro.DBEst(
+        config=repro.DBEstConfig(
+            regressor="gboost", random_seed=4, min_group_rows=50
+        )
+    )
+    engine.register_table(sales)
+    engine.register_table(store)
+
+    # -- GROUP BY: revenue per store over a date range -------------------
+    group_key = engine.build_model(
+        "store_sales", x="ss_sold_date_sk", y="ss_sales_price",
+        sample_size=50_000, group_by="ss_store_sk",
+    )
+    sql = (
+        "SELECT ss_store_sk, SUM(ss_sales_price) FROM store_sales "
+        "WHERE ss_sold_date_sk BETWEEN 2451000 AND 2451900 "
+        "GROUP BY ss_store_sk;"
+    )
+    truth = exact.execute(sql).groups()
+    result = engine.execute(sql)
+    estimate = result.groups()
+    errors = sorted(
+        abs(estimate[k] - v) / abs(v) for k, v in truth.items() if v
+    )
+    print(f"GROUP BY over {len(truth)} stores: "
+          f"median group error {errors[len(errors) // 2] * 100:.1f}%, "
+          f"latency {result.elapsed_seconds * 1000:.0f} ms")
+
+    # -- parallel per-group evaluation (paper §4.7.1) ---------------------
+    engine.config.n_workers = 4
+    engine.execute(sql)  # warm the worker pool
+    start = time.perf_counter()
+    engine.execute(sql)
+    parallel_s = time.perf_counter() - start
+    engine.config.n_workers = 1
+    start = time.perf_counter()
+    engine.execute(sql)
+    sequential_s = time.perf_counter() - start
+    print(f"parallel groups: {sequential_s * 1000:.0f} ms sequential -> "
+          f"{parallel_s * 1000:.0f} ms with 4 workers")
+
+    # -- join: profit by store size, from models of the join --------------
+    engine.build_join_model(
+        "store_sales", "store", "ss_store_sk", "s_store_sk",
+        x="s_number_of_employees", y="ss_net_profit", sample_size=20_000,
+    )
+    join_sql = (
+        "SELECT AVG(ss_net_profit) FROM store_sales "
+        "JOIN store ON ss_store_sk = s_store_sk "
+        "WHERE s_number_of_employees BETWEEN 220 AND 270;"
+    )
+    truth_avg = exact.execute(join_sql).scalar()
+    join_result = engine.execute(join_sql)
+    print(f"join AVG(profit): truth {truth_avg:.2f}, "
+          f"DBEst {join_result.scalar():.2f} "
+          f"in {join_result.elapsed_seconds * 1000:.1f} ms "
+          "(no join executed at query time)")
+
+    # -- model bundles: keep group models on disk until needed ------------
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = engine.bundle_model(group_key, Path(tmp) / "stores.bundle")
+        print(f"bundle written: {bundle.size_bytes() / 1e6:.2f} MB on disk, "
+              f"loaded={bundle.loaded}")
+        result = engine.execute(sql)  # transparently loads the bundle
+        print(f"query via bundle: {len(result.groups())} groups, "
+              f"load took {bundle.last_load_seconds * 1000:.0f} ms "
+              f"(paper: <132 ms for a 500-model bundle)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This environment is offline and has no ``wheel`` package, so PEP-517
+editable installs (which need ``bdist_wheel``) fail.  Keeping a classic
+``setup.py`` lets ``pip install -e . --no-build-isolation`` use the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""DBEst reproduction: a model-based approximate query processing engine.
+
+Reproduces "DBEst: Revisiting Approximate Query Processing Engines with
+Machine Learning Models" (Ma & Triantafillou, SIGMOD 2019) — the engine,
+every substrate it needs (columnar storage, sampling, from-scratch KDE
+and boosted-tree regression, SQL front end), the baseline engines it is
+compared against, the evaluation workloads, and the benchmark harness.
+
+Quickstart::
+
+    import repro
+
+    sales = repro.generate_store_sales(200_000)
+    engine = repro.DBEst()
+    engine.register_table(sales)
+    engine.build_model("store_sales", x="ss_list_price",
+                       y="ss_wholesale_cost", sample_size=10_000)
+    result = engine.execute(
+        "SELECT AVG(ss_wholesale_cost) FROM store_sales "
+        "WHERE ss_list_price BETWEEN 20 AND 40;")
+    print(result.scalar())
+"""
+
+from repro.core import (
+    ColumnSetModel,
+    DBEst,
+    DBEstConfig,
+    GroupByModelSet,
+    ModelBundle,
+    ModelCatalog,
+    ModelKey,
+    QueryResult,
+)
+from repro.engines import ExactEngine, StratifiedAQPEngine, UniformAQPEngine
+from repro.errors import ReproError
+from repro.sql import parse_query
+from repro.storage import Table, read_csv, write_csv
+from repro.workloads import (
+    generate_beijing,
+    generate_ccpp,
+    generate_range_queries,
+    generate_store,
+    generate_store_sales,
+    generate_zipf_join_tables,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ColumnSetModel",
+    "DBEst",
+    "DBEstConfig",
+    "ExactEngine",
+    "GroupByModelSet",
+    "ModelBundle",
+    "ModelCatalog",
+    "ModelKey",
+    "QueryResult",
+    "ReproError",
+    "StratifiedAQPEngine",
+    "Table",
+    "UniformAQPEngine",
+    "__version__",
+    "generate_beijing",
+    "generate_ccpp",
+    "generate_range_queries",
+    "generate_store",
+    "generate_store_sales",
+    "generate_zipf_join_tables",
+    "parse_query",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+Four subcommands cover the offline workflow the paper describes:
+
+* ``generate`` — synthesise one of the evaluation datasets to CSV.
+* ``build``    — sample a CSV table, train a (group-by) model, append it
+  to a model catalog on disk.
+* ``query``    — answer SQL from a saved catalog (no base data needed).
+* ``advise``   — mine a query-log file and print which models to build.
+
+Examples::
+
+    python -m repro generate --dataset ccpp --rows 100000 --out ccpp.csv
+    python -m repro build --csv ccpp.csv --x T --y EP --catalog models.pkl
+    python -m repro query --catalog models.pkl \\
+        "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 20;"
+    python -m repro advise --log workload.sql
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.advisor import WorkloadAdvisor
+from repro.core.catalog import ModelCatalog
+from repro.core.config import DBEstConfig
+from repro.core.engine import DBEst
+from repro.errors import ReproError
+from repro.storage.csvio import read_csv, write_csv
+from repro.workloads import generate_beijing, generate_ccpp, generate_store_sales
+
+_GENERATORS = {
+    "tpcds": generate_store_sales,
+    "ccpp": generate_ccpp,
+    "beijing": generate_beijing,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DBEst: model-based approximate query processing",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="synthesise a dataset CSV")
+    generate.add_argument("--dataset", choices=sorted(_GENERATORS), required=True)
+    generate.add_argument("--rows", type=int, default=100_000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", type=Path, required=True)
+
+    build = commands.add_parser("build", help="train a model from a CSV table")
+    build.add_argument("--csv", type=Path, required=True)
+    build.add_argument("--table", help="table name (default: CSV stem)")
+    build.add_argument("--x", required=True, help="predicate column(s), comma separated")
+    build.add_argument("--y", help="aggregate column (omit for density-only)")
+    build.add_argument("--group-by", dest="group_by")
+    build.add_argument("--sample-size", type=int, default=10_000)
+    build.add_argument(
+        "--regressor", default="ensemble",
+        choices=("ensemble", "gboost", "xgboost", "plr", "linear", "tree"),
+    )
+    build.add_argument("--seed", type=int, default=None)
+    build.add_argument("--catalog", type=Path, required=True)
+
+    query = commands.add_parser("query", help="answer SQL from a saved catalog")
+    query.add_argument("--catalog", type=Path, required=True)
+    query.add_argument("sql", help="the query text")
+
+    advise = commands.add_parser("advise", help="recommend models for a query log")
+    advise.add_argument("--log", type=Path, required=True,
+                        help="file with one SQL query per line")
+    advise.add_argument("--max-models", type=int, default=10)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    table = _GENERATORS[args.dataset](args.rows, seed=args.seed)
+    write_csv(table, args.out)
+    print(f"wrote {table.n_rows} rows of {args.dataset} to {args.out}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    table = read_csv(args.csv, name=args.table or args.csv.stem)
+    config = DBEstConfig(regressor=args.regressor, random_seed=args.seed)
+    engine = DBEst(config=config)
+    if args.catalog.exists():
+        engine.catalog = ModelCatalog.load(args.catalog)
+    engine.register_table(table)
+    x = tuple(part.strip() for part in args.x.split(","))
+    key = engine.build_model(
+        table.name,
+        x=x if len(x) > 1 else x[0],
+        y=args.y,
+        sample_size=args.sample_size,
+        group_by=args.group_by,
+    )
+    written = engine.catalog.save(args.catalog)
+    stats = engine.build_stats[key]
+    print(
+        f"built model {key.table}/{','.join(key.x_columns)}"
+        f"{'->' + key.y_column if key.y_column else ''}"
+        f"{' by ' + key.group_by if key.group_by else ''} "
+        f"in {stats['training_seconds']:.2f}s; "
+        f"catalog now {written / 1e6:.2f} MB at {args.catalog}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = DBEst()
+    engine.catalog = ModelCatalog.load(args.catalog)
+    result = engine.execute(args.sql)
+    for aggregate, value in result.values.items():
+        if isinstance(value, dict):
+            print(aggregate)
+            for group, group_value in sorted(value.items()):
+                print(f"  {group}\t{group_value:.6g}")
+        else:
+            print(f"{aggregate}\t{value:.6g}")
+    print(f"({result.elapsed_seconds * 1000:.1f} ms, source={result.source})",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    advisor = WorkloadAdvisor()
+    for line in args.log.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("--"):
+            advisor.observe(line)
+    recommendations = advisor.recommend(max_models=args.max_models)
+    if not recommendations:
+        print("no buildable model templates found in the log")
+        return 1
+    print(f"{'coverage':>9}  {'queries':>7}  template")
+    for rec in recommendations:
+        print(
+            f"{rec.coverage * 100:>8.1f}%  {rec.frequency:>7}  "
+            f"{rec.template.describe()}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "advise": _cmd_advise,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

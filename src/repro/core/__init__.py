@@ -1,0 +1,50 @@
+"""DBEst core: the paper's primary contribution.
+
+The :class:`DBEst` engine builds :class:`ColumnSetModel` objects (a KDE
+density estimator plus a regression model per column pair) from small
+uniform samples, registers them in a :class:`ModelCatalog`, and answers
+analytical SQL via integrals over the models — never touching base data
+at query time.
+"""
+
+from repro.core.advisor import ModelTemplate, Recommendation, WorkloadAdvisor
+from repro.core.aggregates import answer_aggregate
+from repro.core.analytics import (
+    describe_subspace,
+    estimate_y,
+    impute_missing,
+    rank_relationships,
+    relationship_strength,
+    sketch_density,
+    what_if_aggregate,
+)
+from repro.core.bundles import ModelBundle
+from repro.core.catalog import ModelCatalog, ModelKey
+from repro.core.config import DBEstConfig
+from repro.core.engine import DBEst
+from repro.core.groupby import GroupByModelSet, RawGroup
+from repro.core.model import ColumnSetModel
+from repro.core.result import QueryResult
+
+__all__ = [
+    "ColumnSetModel",
+    "DBEst",
+    "DBEstConfig",
+    "GroupByModelSet",
+    "ModelBundle",
+    "ModelCatalog",
+    "ModelKey",
+    "ModelTemplate",
+    "QueryResult",
+    "RawGroup",
+    "Recommendation",
+    "WorkloadAdvisor",
+    "answer_aggregate",
+    "describe_subspace",
+    "estimate_y",
+    "impute_missing",
+    "rank_relationships",
+    "relationship_strength",
+    "sketch_density",
+    "what_if_aggregate",
+]

@@ -1,0 +1,170 @@
+"""Workload-driven model selection.
+
+Paper §3 "Selecting which Models to Build": every offline-state AQP
+engine must decide which column sets to prepare.  BlinkDB showed that
+"interesting column sets can be identified early in the execution of a
+typical workload"; VerdictDB asks the user.  DBEst is orthogonal — any
+of these work.  This module implements the BlinkDB-style option: mine a
+query-log prefix, count template frequencies, and recommend (or
+directly build) the models that cover the most queries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import SQLError
+from repro.sql.ast import Query
+from repro.sql.parser import parse_query
+
+
+@dataclass(frozen=True)
+class ModelTemplate:
+    """A buildable model signature extracted from queries."""
+
+    table: str
+    x_columns: tuple[str, ...]
+    y_column: str | None
+    group_by: str | None
+    join: tuple[str, str, str] | None = None  # (right_table, left_key, right_key)
+
+    def describe(self) -> str:
+        parts = [f"table={self.table}", f"x={','.join(self.x_columns)}"]
+        if self.y_column:
+            parts.append(f"y={self.y_column}")
+        if self.group_by:
+            parts.append(f"group_by={self.group_by}")
+        if self.join:
+            parts.append(f"join={self.join[0]}")
+        return " ".join(parts)
+
+
+def template_of(query: Query) -> ModelTemplate | None:
+    """The model template a parsed query would need, or None if unsupported."""
+    if len(query.joins) > 1:
+        return None
+    ranges = tuple(sorted({r.column for r in query.ranges}))
+    if not ranges:
+        # Percentile-style queries without WHERE target the AF column.
+        columns = {a.column for a in query.aggregates if a.column}
+        if len(columns) != 1:
+            return None
+        ranges = (next(iter(columns)),)
+    y_columns = {
+        a.column
+        for a in query.aggregates
+        if a.column and a.column not in ranges and a.func != "PERCENTILE"
+    }
+    if len(y_columns) > 1:
+        return None  # one model per y column; callers split multi-AF queries
+    y_column = next(iter(y_columns)) if y_columns else None
+    group_by = query.group_by
+    if group_by is None and query.equalities:
+        if len(query.equalities) > 1:
+            return None
+        group_by = query.equalities[0].column
+    join = None
+    if query.joins:
+        j = query.joins[0]
+        join = (j.table, j.left_key, j.right_key)
+    return ModelTemplate(
+        table=query.table,
+        x_columns=ranges,
+        y_column=y_column,
+        group_by=group_by,
+        join=join,
+    )
+
+
+@dataclass
+class Recommendation:
+    """One recommended model with its supporting query count."""
+
+    template: ModelTemplate
+    frequency: int
+    coverage: float
+
+
+class WorkloadAdvisor:
+    """Mine a query log and recommend which models to build."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[ModelTemplate] = Counter()
+        self.n_queries = 0
+        self.n_unsupported = 0
+
+    def observe(self, sql: str | Query) -> None:
+        """Record one workload query (malformed/unsupported ones are counted)."""
+        self.n_queries += 1
+        try:
+            query = parse_query(sql) if isinstance(sql, str) else sql
+        except SQLError:
+            self.n_unsupported += 1
+            return
+        template = template_of(query)
+        if template is None:
+            self.n_unsupported += 1
+            return
+        self._counts[template] += 1
+
+    def observe_all(self, workload) -> None:
+        for sql in workload:
+            self.observe(sql)
+
+    def recommend(
+        self,
+        max_models: int | None = None,
+        min_frequency: int = 1,
+    ) -> list[Recommendation]:
+        """Templates ranked by how many workload queries they answer."""
+        supported = max(self.n_queries - self.n_unsupported, 1)
+        ranked = [
+            Recommendation(
+                template=template,
+                frequency=count,
+                coverage=count / supported,
+            )
+            for template, count in self._counts.most_common()
+            if count >= min_frequency
+        ]
+        if max_models is not None:
+            ranked = ranked[:max_models]
+        return ranked
+
+    def build_recommended(
+        self,
+        engine,
+        max_models: int | None = None,
+        min_frequency: int = 1,
+        sample_size: int | None = None,
+    ) -> list[ModelTemplate]:
+        """Build every recommended model on a :class:`~repro.core.engine.DBEst`.
+
+        Returns the templates that were built; templates whose tables are
+        not registered with the engine are skipped.
+        """
+        built = []
+        for rec in self.recommend(max_models=max_models, min_frequency=min_frequency):
+            template = rec.template
+            if template.table not in engine.tables:
+                continue
+            if template.join is not None:
+                right, left_key, right_key = template.join
+                if right not in engine.tables:
+                    continue
+                engine.build_join_model(
+                    template.table, right, left_key, right_key,
+                    x=template.x_columns, y=template.y_column,
+                    sample_size=sample_size, group_by=template.group_by,
+                )
+            else:
+                engine.build_model(
+                    template.table,
+                    x=template.x_columns,
+                    y=template.y_column,
+                    sample_size=sample_size,
+                    group_by=template.group_by,
+                )
+            built.append(template)
+        return built

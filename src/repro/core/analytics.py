@@ -1,0 +1,161 @@
+"""Model-powered analytics beyond AQP.
+
+The paper's introduction lists what else DBEst's models buy once built:
+(i) imputing missing attribute values, (ii) estimating a dependent
+variable under missing/hypothesised inputs, (iii) estimating aggregates
+under hypothesised inputs, (iv) quickly discovering relationships
+between attributes, and (v) quickly visualising descriptive statistics
+of data subspaces.  This module implements those five capabilities on
+top of :class:`~repro.core.model.ColumnSetModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import ColumnSetModel
+from repro.errors import InvalidParameterError, UnsupportedQueryError
+from repro.storage.table import Table
+
+
+def impute_missing(
+    table: Table,
+    model: ColumnSetModel,
+    missing: np.ndarray | None = None,
+) -> Table:
+    """(i) Fill missing values of the model's y column using R(x).
+
+    ``missing`` is a boolean mask of rows to impute; by default every
+    NaN in the y column.  Returns a new table; the original is untouched.
+    """
+    if model.y_column is None or model.regressor is None:
+        raise UnsupportedQueryError("imputation needs a model with a y column")
+    if model.n_dims != 1:
+        raise UnsupportedQueryError("imputation currently supports 1-D models")
+    y = np.asarray(table[model.y_column], dtype=np.float64)
+    if missing is None:
+        missing = np.isnan(y)
+    else:
+        missing = np.asarray(missing, dtype=bool)
+        if missing.shape != (table.n_rows,):
+            raise InvalidParameterError(
+                f"missing mask must have shape ({table.n_rows},)"
+            )
+    if not missing.any():
+        return table
+    x = np.asarray(table[model.x_columns[0]], dtype=np.float64)
+    filled = y.copy()
+    filled[missing] = model.predict_y(x[missing])
+    return table.with_column(model.y_column, filled)
+
+
+def estimate_y(
+    model: ColumnSetModel,
+    hypothesised_x: float | np.ndarray,
+) -> np.ndarray:
+    """(ii) Predicted y for missing or hypothesised x values."""
+    return model.predict_y(np.atleast_1d(np.asarray(hypothesised_x, dtype=float)))
+
+
+def what_if_aggregate(
+    model: ColumnSetModel,
+    func: str,
+    lb: float,
+    ub: float,
+) -> float:
+    """(iii) Aggregate of y over a *hypothesised* x range.
+
+    The range need not contain any observed data — the regression model
+    extrapolates and the density conditions on the nearest data mass —
+    which is exactly the hypotheses-testing use the paper describes.
+    """
+    from repro.core.aggregates import answer_aggregate
+    from repro.sql.ast import AggregateCall
+
+    if model.y_column is None:
+        raise UnsupportedQueryError("what-if aggregates need a model with y")
+    call = AggregateCall(func.upper(), model.y_column)
+    return answer_aggregate(model, call, {model.x_columns[0]: (lb, ub)})
+
+
+def relationship_strength(model: ColumnSetModel, n_points: int = 512) -> float:
+    """(iv) Strength of the x->y relationship captured by the model.
+
+    Returns the R² of the regression function against its density-
+    weighted mean: 0 means y does not vary with x (no relationship),
+    values near 1 mean x nearly determines y.  Computed entirely from the
+    models — no data access.
+    """
+    if model.regressor is None or model.n_dims != 1:
+        raise UnsupportedQueryError(
+            "relationship discovery needs a 1-D model with a regressor"
+        )
+    lo, hi = model.density.support
+    grid = np.linspace(lo, hi, n_points)
+    weights = model.density.pdf(grid)
+    total = weights.sum()
+    if total <= 0:
+        return 0.0
+    weights = weights / total
+    predictions = model.predict_y(grid)
+    mean = float(weights @ predictions)
+    explained = float(weights @ (predictions - mean) ** 2)
+    noise = float(weights @ model.residual_variance(grid))
+    denominator = explained + noise
+    if denominator <= 0:
+        return 0.0
+    return explained / denominator
+
+
+def rank_relationships(models: dict[str, ColumnSetModel]) -> list[tuple[str, float]]:
+    """(iv) Rank named models by relationship strength, strongest first."""
+    scored = [
+        (name, relationship_strength(model)) for name, model in models.items()
+    ]
+    return sorted(scored, key=lambda pair: pair[1], reverse=True)
+
+
+def describe_subspace(
+    model: ColumnSetModel,
+    lb: float,
+    ub: float,
+) -> dict[str, float]:
+    """(v) Descriptive statistics of y within an x subspace, from models.
+
+    One call replaces a handful of aggregate queries: the analyst gets
+    count, mean, total, spread, and the subspace's share of the table.
+    """
+    if model.y_column is None:
+        raise UnsupportedQueryError("describe needs a model with a y column")
+    ranges = {model.x_columns[0]: (lb, ub)}
+    count = model.count(ranges)
+    return {
+        "count": count,
+        "fraction_of_table": count / max(model.population_size, 1),
+        "mean": model.avg(ranges),
+        "sum": model.sum_(ranges),
+        "variance": model.variance_y(ranges),
+        "stddev": model.stddev_y(ranges),
+    }
+
+
+def sketch_density(
+    model: ColumnSetModel,
+    n_bins: int = 24,
+    width: int = 40,
+) -> str:
+    """(v) A text sketch of D(x) for quick terminal visualisation."""
+    if model.n_dims != 1:
+        raise UnsupportedQueryError("density sketches are 1-D only")
+    lo, hi = model.density.support
+    edges = np.linspace(lo, hi, n_bins + 1)
+    centres = 0.5 * (edges[:-1] + edges[1:])
+    masses = np.asarray(
+        [model.density.integrate(a, b) for a, b in zip(edges[:-1], edges[1:])]
+    )
+    peak = masses.max() if masses.max() > 0 else 1.0
+    lines = []
+    for centre, mass in zip(centres, masses):
+        bar = "#" * int(round(width * mass / peak))
+        lines.append(f"{centre:>12.3f} | {bar}")
+    return "\n".join(lines)

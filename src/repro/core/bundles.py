@@ -1,0 +1,105 @@
+"""Model bundles: serialised group-model sets loaded on demand.
+
+Paper §2.3 "Limitations": for queries with very large numbers of groups,
+DBEst serialises all the models a query needs into a *bundle* stored on
+SSD; only the bundle for the query at hand is read and deserialised
+(measured at <132 ms for 500 groups), keeping memory small while
+preserving the query-time speedups.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from pathlib import Path
+
+from repro.core.groupby import GroupByModelSet
+from repro.errors import BundleError
+
+
+class ModelBundle:
+    """A group-by model set that lives on disk until first use.
+
+    Create with :meth:`write`, which serialises a
+    :class:`~repro.core.groupby.GroupByModelSet` and returns a bundle
+    handle holding only the path.  The first call that needs the models
+    loads and caches them; :meth:`unload` drops them back out of memory.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._model_set: GroupByModelSet | None = None
+        self.last_load_seconds: float | None = None
+
+    @classmethod
+    def write(cls, model_set: GroupByModelSet, path: str | Path) -> "ModelBundle":
+        """Serialise ``model_set`` to ``path`` and return a lazy handle."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(model_set, protocol=pickle.HIGHEST_PROTOCOL)
+        path.write_bytes(payload)
+        return cls(path)
+
+    @property
+    def loaded(self) -> bool:
+        return self._model_set is not None
+
+    def size_bytes(self) -> int:
+        """On-disk bundle size."""
+        if not self.path.exists():
+            raise BundleError(f"bundle file {self.path} does not exist")
+        return self.path.stat().st_size
+
+    def load(self) -> GroupByModelSet:
+        """Read + deserialise the bundle (timed, cached)."""
+        if self._model_set is None:
+            if not self.path.exists():
+                raise BundleError(f"bundle file {self.path} does not exist")
+            start = time.perf_counter()
+            payload = self.path.read_bytes()
+            try:
+                model_set = pickle.loads(payload)
+            except Exception as exc:
+                raise BundleError(
+                    f"bundle {self.path} is corrupt: {exc}"
+                ) from exc
+            self.last_load_seconds = time.perf_counter() - start
+            if not isinstance(model_set, GroupByModelSet):
+                raise BundleError(
+                    f"bundle {self.path} holds a {type(model_set).__name__}, "
+                    "expected GroupByModelSet"
+                )
+            self._model_set = model_set
+        return self._model_set
+
+    def unload(self) -> None:
+        """Drop the in-memory models; the next use reloads from disk."""
+        self._model_set = None
+
+    # -- delegation so the engine can treat bundles like model sets --------
+
+    def answer(self, aggregate, ranges, n_workers: int | None = None) -> dict:
+        return self.load().answer(aggregate, ranges, n_workers=n_workers)
+
+    def answer_group(self, value, aggregate, ranges) -> float:
+        return self.load().answer_group(value, aggregate, ranges)
+
+    @property
+    def group_values(self) -> list:
+        return self.load().group_values
+
+    @property
+    def n_groups(self) -> int:
+        return self.load().n_groups
+
+    @property
+    def x_columns(self) -> tuple[str, ...]:
+        return self.load().x_columns
+
+    @property
+    def y_column(self) -> str | None:
+        return self.load().y_column
+
+    @property
+    def group_column(self) -> str:
+        return self.load().group_column

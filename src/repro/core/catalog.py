@@ -1,0 +1,181 @@
+"""The model catalog.
+
+Paper §2.1: "The model catalog stores information for the available models
+and their correspondence to the column sets and tables of the base data
+they model.  When a query arrives, DBEst reads the model catalog to check
+for models that could answer it."
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import CatalogError, ModelNotFoundError
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """Identity of a model: table, predicate columns, target, group column.
+
+    ``x_columns`` is a sorted tuple so lookup is order-insensitive;
+    ``y_column`` is None for density-only models; ``group_by`` is None for
+    scalar models.
+    """
+
+    table: str
+    x_columns: tuple[str, ...]
+    y_column: str | None
+    group_by: str | None = None
+
+    @classmethod
+    def make(
+        cls,
+        table: str,
+        x_columns,
+        y_column: str | None,
+        group_by: str | None = None,
+    ) -> "ModelKey":
+        if isinstance(x_columns, str):
+            x_columns = (x_columns,)
+        return cls(
+            table=table,
+            x_columns=tuple(sorted(x_columns)),
+            y_column=y_column,
+            group_by=group_by,
+        )
+
+
+class ModelCatalog:
+    """Registry mapping :class:`ModelKey` to trained model objects.
+
+    Values are :class:`~repro.core.model.ColumnSetModel`,
+    :class:`~repro.core.groupby.GroupByModelSet`, or
+    :class:`~repro.core.bundles.ModelBundle` instances — anything the
+    engine knows how to evaluate.
+    """
+
+    def __init__(self) -> None:
+        self._models: dict[ModelKey, object] = {}
+
+    def register(self, key: ModelKey, model: object, replace: bool = False) -> None:
+        if key in self._models and not replace:
+            raise CatalogError(f"a model is already registered for {key}")
+        self._models[key] = model
+
+    def get(self, key: ModelKey) -> object:
+        try:
+            return self._models[key]
+        except KeyError:
+            raise ModelNotFoundError(f"no model registered for {key}") from None
+
+    def remove(self, key: ModelKey) -> None:
+        if key not in self._models:
+            raise CatalogError(f"no model registered for {key}")
+        del self._models[key]
+
+    def __contains__(self, key: ModelKey) -> bool:
+        return key in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def keys(self) -> list[ModelKey]:
+        return list(self._models)
+
+    def find(
+        self,
+        table: str,
+        x_columns,
+        y_column: str | None,
+        group_by: str | None = None,
+    ) -> object:
+        """Resolve the model answering a query.
+
+        Resolution order:
+
+        1. exact key match;
+        2. for COUNT(*)-style lookups (``y_column`` None), any model over
+           the same predicate columns and group column (COUNT only needs
+           the density estimator);
+        3. a *superset* model: one whose predicate columns contain the
+           query's — unconstrained dimensions integrate over their full
+           domain, so a multivariate model answers lower-dimensional
+           queries exactly as a marginal would.
+        """
+        key = ModelKey.make(table, x_columns, y_column, group_by)
+        if key in self._models:
+            return self._models[key]
+        if y_column is None:
+            for candidate, model in self._models.items():
+                if (
+                    candidate.table == key.table
+                    and candidate.x_columns == key.x_columns
+                    and candidate.group_by == key.group_by
+                ):
+                    return model
+        wanted = set(key.x_columns)
+        supersets = [
+            (candidate, model)
+            for candidate, model in self._models.items()
+            if candidate.table == key.table
+            and candidate.group_by == key.group_by
+            and wanted < set(candidate.x_columns)
+            and (y_column is None or candidate.y_column == y_column)
+        ]
+        if supersets:
+            # Prefer the tightest superset (fewest extra dimensions).
+            supersets.sort(key=lambda pair: len(pair[0].x_columns))
+            return supersets[0][1]
+        raise ModelNotFoundError(
+            f"no model for table={table!r} x={key.x_columns} "
+            f"y={y_column!r} group_by={group_by!r}"
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Pickle the whole catalog to disk; returns bytes written."""
+        path = Path(path)
+        payload = pickle.dumps(self._models, protocol=pickle.HIGHEST_PROTOCOL)
+        path.write_bytes(payload)
+        return len(payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ModelCatalog":
+        """Restore a catalog written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise CatalogError(f"catalog file {path} does not exist")
+        catalog = cls()
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except Exception as exc:
+            raise CatalogError(f"catalog file {path} is corrupt: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CatalogError(
+                f"catalog file {path} holds a {type(payload).__name__}, "
+                "expected a model mapping"
+            )
+        catalog._models = payload
+        return catalog
+
+    def total_size_bytes(self) -> int:
+        """Serialized size of all registered models (space-overhead metric)."""
+        return len(pickle.dumps(self._models, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def summary(self) -> list[dict]:
+        """One description dict per registered model (for tooling/docs)."""
+        rows = []
+        for key, model in self._models.items():
+            rows.append(
+                {
+                    "table": key.table,
+                    "x_columns": key.x_columns,
+                    "y_column": key.y_column,
+                    "group_by": key.group_by,
+                    "type": type(model).__name__,
+                }
+            )
+        return rows

@@ -1,0 +1,94 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidParameterError
+
+_REGRESSORS = ("ensemble", "gboost", "xgboost", "plr", "linear", "tree")
+_INTEGRATION_METHODS = ("simpson", "quad")
+_PARALLEL_MODES = ("thread", "process")
+
+
+@dataclass
+class DBEstConfig:
+    """Tunable knobs of the DBEst engine.
+
+    Attributes
+    ----------
+    default_sample_size:
+        Rows drawn by reservoir sampling when ``build_model`` is not given
+        an explicit sample size.
+    regressor:
+        Which regression model backs column-pair models: the paper's
+        default is the classifier-routed ``"ensemble"``; single-model
+        choices exist for the regressor ablation.
+    kde_bandwidth / kde_binned / kde_bins:
+        Density-estimator settings (see :mod:`repro.ml.kde`).
+    integration_points:
+        Simpson grid size for regression-weighted integrals (odd, >= 3).
+    integration_method:
+        ``"simpson"`` (default, vectorised fixed grid) or ``"quad"``
+        (adaptive QUADPACK, the method named by the paper) — compared in
+        the integration ablation bench.
+    min_group_rows:
+        GROUP BY groups whose *sample* has fewer rows than this are kept
+        as raw tuples instead of models (paper: "building models over
+        small groups is an overkill").
+    max_groups:
+        Refuse to build group-by models above this group count (paper's
+        "large cardinality" limitation); callers see a ModelTrainingError
+        and should fall back to another engine.
+    n_workers / parallel_mode:
+        Worker pool for per-group model evaluation (§4.7); 1 means
+        sequential single-thread execution, the paper's default setup.
+    random_seed:
+        Seed for sampling and model training; None draws fresh entropy.
+    """
+
+    default_sample_size: int = 10_000
+    regressor: str = "ensemble"
+    kde_bandwidth: str | float = "scott"
+    kde_binned: bool = True
+    kde_bins: int = 2048
+    integration_points: int = 257
+    integration_method: str = "simpson"
+    min_group_rows: int = 30
+    max_groups: int = 10_000
+    n_workers: int = 1
+    parallel_mode: str = "process"
+    random_seed: int | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.default_sample_size <= 0:
+            raise InvalidParameterError(
+                f"default_sample_size must be positive, got {self.default_sample_size}"
+            )
+        if self.regressor not in _REGRESSORS:
+            raise InvalidParameterError(
+                f"regressor must be one of {_REGRESSORS}, got {self.regressor!r}"
+            )
+        if self.integration_points < 3 or self.integration_points % 2 == 0:
+            raise InvalidParameterError(
+                "integration_points must be odd and >= 3, "
+                f"got {self.integration_points}"
+            )
+        if self.integration_method not in _INTEGRATION_METHODS:
+            raise InvalidParameterError(
+                f"integration_method must be one of {_INTEGRATION_METHODS}, "
+                f"got {self.integration_method!r}"
+            )
+        if self.parallel_mode not in _PARALLEL_MODES:
+            raise InvalidParameterError(
+                f"parallel_mode must be one of {_PARALLEL_MODES}, "
+                f"got {self.parallel_mode!r}"
+            )
+        if self.n_workers < 1:
+            raise InvalidParameterError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.min_group_rows < 1:
+            raise InvalidParameterError(
+                f"min_group_rows must be >= 1, got {self.min_group_rows}"
+            )

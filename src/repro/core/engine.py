@@ -1,0 +1,360 @@
+"""The DBEst engine façade.
+
+Ties the pieces together exactly as the paper's architecture figure does:
+a sampling module (reservoir sampling over registered tables), a models
+module (column-set and group-by models), and a model catalog.  Queries
+arriving as SQL are parsed, matched against the catalog, and answered
+from models; queries no model can answer go to the configured fallback
+engine (paper: "the query will be sent to an underlying system in the
+level below").
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.aggregates import answer_aggregate
+from repro.core.bundles import ModelBundle
+from repro.core.catalog import ModelCatalog, ModelKey
+from repro.core.config import DBEstConfig
+from repro.core.groupby import GroupByModelSet
+from repro.core.joins import (
+    join_table_name,
+    precompute_join_sample,
+    sampled_join_sample,
+)
+from repro.core.model import ColumnSetModel
+from repro.core.result import QueryResult
+from repro.errors import (
+    InvalidParameterError,
+    ModelNotFoundError,
+    UnknownTableError,
+    UnsupportedQueryError,
+)
+from repro.sampling.reservoir import reservoir_sample_indices
+from repro.sql.ast import AggregateCall, Query
+from repro.sql.parser import parse_query
+from repro.sql.validator import validate_query
+from repro.storage.table import Table
+
+
+class DBEst:
+    """Model-based approximate query processing engine.
+
+    Typical use::
+
+        engine = DBEst()
+        engine.register_table(store_sales)
+        engine.build_model("store_sales", x="ss_list_price",
+                           y="ss_wholesale_cost", sample_size=10_000)
+        result = engine.execute(
+            "SELECT AVG(ss_wholesale_cost) FROM store_sales "
+            "WHERE ss_list_price BETWEEN 20 AND 40;")
+        print(result.scalar())
+    """
+
+    def __init__(
+        self,
+        config: DBEstConfig | None = None,
+        fallback=None,
+    ) -> None:
+        self.config = config or DBEstConfig()
+        self.catalog = ModelCatalog()
+        self.tables: dict[str, Table] = {}
+        self.fallback = fallback
+        self.build_stats: dict[ModelKey, dict] = {}
+        self._rng = np.random.default_rng(self.config.random_seed)
+
+    # -- data registration -------------------------------------------------
+
+    def register_table(self, table: Table) -> None:
+        """Make a base table available for sampling and model building."""
+        if not table.name:
+            raise InvalidParameterError("tables must be named to be registered")
+        self.tables[table.name] = table
+
+    def _get_table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    # -- model building ------------------------------------------------------
+
+    def build_model(
+        self,
+        table: str,
+        x: str | Sequence[str],
+        y: str | None = None,
+        sample_size: int | None = None,
+        group_by: str | None = None,
+    ) -> ModelKey:
+        """Sample a table and train a (group-by) column-set model.
+
+        Returns the catalog key under which the model is registered.  The
+        sample is discarded after training (paper §3: "any samples it
+        builds are deleted after model training").
+        """
+        base = self._get_table(table)
+        x_columns = (x,) if isinstance(x, str) else tuple(x)
+        size = sample_size or self.config.default_sample_size
+
+        t0 = time.perf_counter()
+        indices = reservoir_sample_indices(base.n_rows, size, rng=self._rng)
+        sample_x = self._feature_matrix(base, x_columns, indices)
+        sample_y = None if y is None else base[y][indices].astype(np.float64)
+        sampling_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if group_by is None:
+            model: object = ColumnSetModel.train(
+                sample_x if len(x_columns) > 1 else sample_x[:, 0],
+                sample_y,
+                table_name=table,
+                x_columns=x_columns,
+                y_column=y,
+                population_size=base.n_rows,
+                config=self.config,
+            )
+        else:
+            model = GroupByModelSet.train(
+                sample_x,
+                sample_y,
+                sample_groups=base[group_by][indices],
+                full_groups=base[group_by],
+                full_x=self._feature_matrix(
+                    base, x_columns, np.arange(base.n_rows)
+                ),
+                full_y=None if y is None else base[y],
+                table_name=table,
+                x_columns=x_columns,
+                y_column=y,
+                group_column=group_by,
+                config=self.config,
+            )
+        training_seconds = time.perf_counter() - t0
+
+        key = ModelKey.make(table, x_columns, y, group_by)
+        self.catalog.register(key, model, replace=True)
+        self.build_stats[key] = {
+            "sampling_seconds": sampling_seconds,
+            "training_seconds": training_seconds,
+            "sample_size": int(min(size, base.n_rows)),
+            "model_bytes": model.size_bytes(),
+        }
+        return key
+
+    def build_join_model(
+        self,
+        left: str,
+        right: str,
+        left_key: str,
+        right_key: str,
+        x: str | Sequence[str],
+        y: str | None = None,
+        sample_size: int | None = None,
+        group_by: str | None = None,
+        strategy: str = "precompute",
+        key_fraction: float = 0.1,
+    ) -> ModelKey:
+        """Build models over a join result (paper §2.2, two strategies).
+
+        The model is registered under the virtual table name
+        ``{left}_join_{right}``, which is also what join queries resolve
+        to at execution time.
+        """
+        left_table = self._get_table(left)
+        right_table = self._get_table(right)
+        size = sample_size or self.config.default_sample_size
+
+        t0 = time.perf_counter()
+        if strategy == "precompute":
+            sample, population = precompute_join_sample(
+                left_table, right_table, left_key, right_key, size, rng=self._rng
+            )
+        elif strategy == "sampled":
+            sample, population = sampled_join_sample(
+                left_table,
+                right_table,
+                left_key,
+                right_key,
+                size,
+                key_fraction=key_fraction,
+                rng=self._rng,
+            )
+        else:
+            raise InvalidParameterError(
+                f"strategy must be 'precompute' or 'sampled', got {strategy!r}"
+            )
+        sampling_seconds = time.perf_counter() - t0
+
+        x_columns = (x,) if isinstance(x, str) else tuple(x)
+        virtual = join_table_name(left, right)
+        all_idx = np.arange(sample.n_rows)
+        sample_x = self._feature_matrix(sample, x_columns, all_idx)
+        sample_y = None if y is None else sample[y].astype(np.float64)
+
+        t0 = time.perf_counter()
+        if group_by is None:
+            model: object = ColumnSetModel.train(
+                sample_x if len(x_columns) > 1 else sample_x[:, 0],
+                sample_y,
+                table_name=virtual,
+                x_columns=x_columns,
+                y_column=y,
+                population_size=population,
+                config=self.config,
+            )
+        else:
+            # For joins the training sample doubles as the "full" data:
+            # the join result itself was discarded (that is the point of
+            # strategy 1) so group populations are estimated by scaling
+            # the sample's group counts up to the join cardinality.
+            scale = population / max(sample.n_rows, 1)
+            model = GroupByModelSet.train(
+                sample_x,
+                sample_y,
+                sample_groups=sample[group_by],
+                full_groups=sample[group_by],
+                full_x=sample_x,
+                full_y=sample_y,
+                table_name=virtual,
+                x_columns=x_columns,
+                y_column=y,
+                group_column=group_by,
+                config=self.config,
+                population_scale=scale,
+            )
+        training_seconds = time.perf_counter() - t0
+
+        key = ModelKey.make(virtual, x_columns, y, group_by)
+        self.catalog.register(key, model, replace=True)
+        self.build_stats[key] = {
+            "sampling_seconds": sampling_seconds,
+            "training_seconds": training_seconds,
+            "sample_size": sample.n_rows,
+            "model_bytes": model.size_bytes(),
+        }
+        return key
+
+    @staticmethod
+    def _feature_matrix(
+        table: Table, x_columns: tuple[str, ...], indices: np.ndarray
+    ) -> np.ndarray:
+        return np.column_stack(
+            [table[c][indices].astype(np.float64) for c in x_columns]
+        )
+
+    # -- bundles ------------------------------------------------------------
+
+    def bundle_model(self, key: ModelKey, path) -> ModelBundle:
+        """Serialise a group-by model set to disk and swap in a lazy handle."""
+        model = self.catalog.get(key)
+        if not isinstance(model, GroupByModelSet):
+            raise InvalidParameterError(
+                "only GROUP BY model sets can be bundled"
+            )
+        bundle = ModelBundle.write(model, path)
+        self.catalog.register(key, bundle, replace=True)
+        return bundle
+
+    # -- query execution ------------------------------------------------------
+
+    def execute(self, sql: str | Query) -> QueryResult:
+        """Answer an analytical query from models (or the fallback engine)."""
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        validate_query(query)
+        start = time.perf_counter()
+        try:
+            values = self._answer_from_models(query)
+            source = "model"
+        except (ModelNotFoundError, UnsupportedQueryError):
+            if self.fallback is None:
+                raise
+            fallback_result = self.fallback.execute(query)
+            values = fallback_result.values
+            source = "fallback"
+        elapsed = time.perf_counter() - start
+        return QueryResult(
+            values=values,
+            source=source,
+            elapsed_seconds=elapsed,
+            sql=sql if isinstance(sql, str) else query.to_sql(),
+        )
+
+    def _answer_from_models(self, query: Query) -> dict:
+        from repro.sql.ast import merged_ranges
+
+        table = self._resolve_table_name(query)
+        ranges = merged_ranges(query.ranges)
+        values: dict[str, float | dict] = {}
+        for aggregate in query.aggregates:
+            values[str(aggregate)] = self._answer_one(
+                table, aggregate, ranges, query
+            )
+        return values
+
+    @staticmethod
+    def _resolve_table_name(query: Query) -> str:
+        name = query.table
+        for join in query.joins:
+            name = join_table_name(name, join.table)
+        return name
+
+    def _answer_one(
+        self,
+        table: str,
+        aggregate: AggregateCall,
+        ranges: dict[str, tuple[float, float]],
+        query: Query,
+    ) -> float | dict:
+        if any(high < low for low, high in ranges.values()):
+            # Contradictory comparison predicates select nothing.
+            if query.group_by is not None:
+                return {}
+            return 0.0 if aggregate.func in ("COUNT", "SUM") else float("nan")
+        x_columns = tuple(sorted(ranges)) if ranges else (aggregate.column,)
+        if x_columns == (None,):
+            raise UnsupportedQueryError(
+                "COUNT(*) without a range predicate has no model to target"
+            )
+        # Density-based aggregates only need a model whose x matches.
+        density_based = aggregate.func in ("COUNT", "PERCENTILE") or (
+            aggregate.column in x_columns
+        )
+        y_lookup = None if density_based else aggregate.column
+
+        if query.group_by is not None:
+            model = self.catalog.find(table, x_columns, y_lookup, query.group_by)
+            return model.answer(aggregate, ranges, n_workers=self.config.n_workers)
+
+        # Nominal-categorical selection: equality on a group-by column is
+        # answered by the matching group's model (paper §2.3, "Supporting
+        # Categorical Attributes").
+        if query.equalities:
+            if len(query.equalities) > 1:
+                raise UnsupportedQueryError(
+                    "at most one equality predicate is supported"
+                )
+            eq = query.equalities[0]
+            model = self.catalog.find(table, x_columns, y_lookup, eq.column)
+            return model.answer_group(eq.value, aggregate, ranges)
+
+        model = self.catalog.find(table, x_columns, y_lookup)
+        return answer_aggregate(model, aggregate, ranges)
+
+    # -- introspection -----------------------------------------------------
+
+    def state_size_bytes(self) -> int:
+        """Total serialised size of the model state (space overhead)."""
+        return self.catalog.total_size_bytes()
+
+    def describe(self) -> list[dict]:
+        """Catalog summary joined with per-model build statistics."""
+        rows = self.catalog.summary()
+        for row, key in zip(rows, self.catalog.keys()):
+            row.update(self.build_stats.get(key, {}))
+        return rows

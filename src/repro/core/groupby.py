@@ -1,0 +1,286 @@
+"""Per-group model sets for GROUP BY queries.
+
+Paper §2.3 ("Supporting Group By"): each value of the group attribute is
+treated as a separate data set — one sample, one density estimator, one
+regressor per group.  Paper "Limitations": groups with too few rows are
+kept as raw tuples and aggregated exactly, since models over tiny groups
+are an overkill.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.aggregates import Ranges, answer_aggregate
+from repro.core.config import DBEstConfig
+from repro.core.model import ColumnSetModel
+from repro.core.parallel import chunk_items, map_parallel
+from repro.errors import ModelTrainingError
+from repro.sql.ast import AggregateCall
+
+
+def _answer_chunk(payload: tuple) -> list[tuple]:
+    """Evaluate one chunk of (value, evaluator) pairs.
+
+    Module-level so process pools can pickle it; ``evaluator`` is either a
+    :class:`ColumnSetModel` or a :class:`RawGroup` (both picklable), which
+    travel to the worker inside the payload.
+    """
+    from repro.core.parallel import limit_blas_threads
+
+    limit_blas_threads(1)
+    pairs, aggregate, ranges, x_columns = payload
+    out = []
+    for value, evaluator in pairs:
+        if isinstance(evaluator, RawGroup):
+            out.append((value, evaluator.answer(aggregate, ranges, x_columns)))
+        else:
+            out.append((value, answer_aggregate(evaluator, aggregate, ranges)))
+    return out
+
+
+class RawGroup:
+    """Exact fallback for a small group: keeps its tuples, answers exactly.
+
+    ``x`` and ``y`` hold *all* rows of the group from the base table (the
+    paper: "just keep and process the small number of tuples in the
+    group"), so every aggregate is computed exactly.  When the "full"
+    data is itself a sample standing in for a larger population (join
+    models, where the join result is discarded after sampling),
+    ``population_scale`` > 1 scales COUNT and SUM back up.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray | None,
+        population_scale: float = 1.0,
+    ) -> None:
+        self.x = np.asarray(x, dtype=np.float64)
+        if self.x.ndim == 1:
+            self.x = self.x[:, None]
+        self.y = None if y is None else np.asarray(y, dtype=np.float64).ravel()
+        self.population_scale = float(population_scale)
+
+    def _mask(self, x_columns: tuple[str, ...], ranges: Ranges) -> np.ndarray:
+        mask = np.ones(self.x.shape[0], dtype=bool)
+        for j, column in enumerate(x_columns):
+            if column in ranges:
+                lb, ub = ranges[column]
+                mask &= (self.x[:, j] >= lb) & (self.x[:, j] <= ub)
+        return mask
+
+    def answer(
+        self,
+        aggregate: AggregateCall,
+        ranges: Ranges,
+        x_columns: tuple[str, ...],
+    ) -> float:
+        mask = self._mask(x_columns, ranges)
+        n = int(mask.sum())
+        if aggregate.func == "COUNT":
+            return float(n) * self.population_scale
+        if n == 0:
+            return 0.0 if aggregate.func == "SUM" else float("nan")
+        target = (
+            self.y[mask]
+            if self.y is not None and aggregate.column not in x_columns
+            else self.x[mask, 0]
+        )
+        if aggregate.func == "SUM":
+            return float(target.sum()) * self.population_scale
+        if aggregate.func == "AVG":
+            return float(target.mean())
+        if aggregate.func == "VARIANCE":
+            return float(target.var())
+        if aggregate.func == "STDDEV":
+            return float(target.std())
+        if aggregate.func == "PERCENTILE":
+            return float(np.quantile(target, aggregate.parameter))
+        raise ModelTrainingError(f"unsupported aggregate {aggregate.func!r}")
+
+    def nbytes(self) -> int:
+        return int(self.x.nbytes + (0 if self.y is None else self.y.nbytes))
+
+
+class GroupByModelSet:
+    """All per-group state needed to answer one GROUP BY query template."""
+
+    def __init__(
+        self,
+        table_name: str,
+        x_columns: tuple[str, ...],
+        y_column: str | None,
+        group_column: str,
+        models: dict,
+        raw_groups: dict,
+        config: DBEstConfig | None = None,
+    ) -> None:
+        self.table_name = table_name
+        self.x_columns = tuple(x_columns)
+        self.y_column = y_column
+        self.group_column = group_column
+        self.models = models
+        self.raw_groups = raw_groups
+        self.config = config or DBEstConfig()
+
+    # -- training ---------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        sample_x: np.ndarray,
+        sample_y: np.ndarray | None,
+        sample_groups: np.ndarray,
+        full_groups: np.ndarray,
+        full_x: np.ndarray,
+        full_y: np.ndarray | None,
+        table_name: str,
+        x_columns: tuple[str, ...] | list[str],
+        y_column: str | None,
+        group_column: str,
+        config: DBEstConfig | None = None,
+        population_scale: float = 1.0,
+    ) -> "GroupByModelSet":
+        """Build per-group models from a uniform sample.
+
+        ``sample_*`` arrays come from the reservoir sample; ``full_groups``
+        is the group column over the whole table (used for exact per-group
+        population counts — the paper records group values during
+        training), and ``full_x`` / ``full_y`` supply the raw tuples kept
+        for under-represented groups.  ``population_scale`` > 1 marks
+        ``full_*`` as itself being a sample of a ``scale``-times-larger
+        population (join models).
+        """
+        config = config or DBEstConfig()
+        sample_x = np.asarray(sample_x, dtype=np.float64)
+        if sample_x.ndim == 1:
+            sample_x = sample_x[:, None]
+
+        group_values, full_counts = np.unique(full_groups, return_counts=True)
+        if group_values.shape[0] > config.max_groups:
+            raise ModelTrainingError(
+                f"{group_values.shape[0]} groups exceeds max_groups="
+                f"{config.max_groups}; paper-style fallback to another engine"
+            )
+        population = {
+            value: int(round(count * population_scale))
+            for value, count in zip(group_values.tolist(), full_counts.tolist())
+        }
+
+        models: dict = {}
+        raw_groups: dict = {}
+        for value in group_values.tolist():
+            in_sample = sample_groups == value
+            n_in_sample = int(in_sample.sum())
+            if n_in_sample < config.min_group_rows:
+                in_full = full_groups == value
+                fx = np.asarray(full_x, dtype=np.float64)
+                fx = fx[in_full] if fx.ndim == 1 else fx[in_full, :]
+                fy = None if full_y is None else np.asarray(full_y)[in_full]
+                raw_groups[value] = RawGroup(
+                    fx, fy, population_scale=population_scale
+                )
+                continue
+            gx = sample_x[in_sample]
+            if gx.shape[1] == 1:
+                gx = gx[:, 0]
+            gy = None if sample_y is None else np.asarray(sample_y)[in_sample]
+            models[value] = ColumnSetModel.train(
+                gx,
+                gy,
+                table_name=table_name,
+                x_columns=tuple(x_columns),
+                y_column=y_column,
+                population_size=population[value],
+                config=config,
+            )
+        return cls(
+            table_name=table_name,
+            x_columns=tuple(x_columns),
+            y_column=y_column,
+            group_column=group_column,
+            models=models,
+            raw_groups=raw_groups,
+            config=config,
+        )
+
+    # -- querying -----------------------------------------------------------
+
+    @property
+    def group_values(self) -> list:
+        return sorted(list(self.models) + list(self.raw_groups))
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.models) + len(self.raw_groups)
+
+    def answer_group(
+        self, value, aggregate: AggregateCall, ranges: Ranges
+    ) -> float:
+        """Answer one aggregate for one group value."""
+        if value in self.models:
+            return answer_aggregate(self.models[value], aggregate, ranges)
+        if value in self.raw_groups:
+            return self.raw_groups[value].answer(aggregate, ranges, self.x_columns)
+        raise KeyError(f"group value {value!r} not seen during training")
+
+    def answer(
+        self,
+        aggregate: AggregateCall,
+        ranges: Ranges,
+        n_workers: int | None = None,
+    ) -> dict:
+        """Answer one aggregate for every group.
+
+        Per-group evaluation is embarrassingly parallel (paper §4.7.1);
+        ``n_workers`` > 1 fans group *chunks* out over a pool.  The default
+        ``process`` pool sidesteps the GIL (per-group work is many small
+        numpy calls, so threads cannot speed it up — the same observation
+        §4.7 of the paper makes about its own Python implementation); the
+        models are pickled into the workers with each chunk.
+        """
+        workers = n_workers if n_workers is not None else self.config.n_workers
+        values = self.group_values
+        if workers <= 1 or len(values) <= 1:
+            return {
+                value: self.answer_group(value, aggregate, ranges)
+                for value in values
+            }
+
+        def evaluator_for(value):
+            return self.models.get(value) or self.raw_groups[value]
+
+        chunks = chunk_items(values, workers)
+        payloads = [
+            (
+                [(value, evaluator_for(value)) for value in chunk],
+                aggregate,
+                ranges,
+                self.x_columns,
+            )
+            for chunk in chunks
+        ]
+        results = map_parallel(
+            _answer_chunk, payloads, workers=workers,
+            mode=self.config.parallel_mode,
+        )
+        return dict(pair for chunk_result in results for pair in chunk_result)
+
+    # -- introspection -----------------------------------------------------
+
+    def size_bytes(self) -> int:
+        return len(pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupByModelSet(table={self.table_name!r}, x={self.x_columns}, "
+            f"y={self.y_column!r}, group={self.group_column!r}, "
+            f"n_groups={self.n_groups}, raw={len(self.raw_groups)})"
+        )
+
+
+GroupEvaluator = Callable[[object], tuple]

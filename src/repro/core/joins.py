@@ -1,0 +1,80 @@
+"""Join support: produce training samples over join results.
+
+Paper §2.2 gives two strategies for predictable/popular joins:
+
+1. **precompute** — compute the full join result, draw a small uniform
+   sample from it, build models, discard both join and sample.  Possible
+   for DBEst precisely because nothing but the models must be kept.
+2. **sampled** — for very large inputs, universe-sample each side on the
+   join key with the same hash (à la VerdictDB/QuickR), join the samples,
+   then draw the small uniform training sample from that.  The join
+   cardinality ``N`` is estimated by scaling the sampled-join size by the
+   inverse inclusion probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sampling.hashed import hash_sample_table
+from repro.sampling.reservoir import reservoir_sample_table
+from repro.storage.join import hash_join
+from repro.storage.table import Table
+
+
+def join_table_name(left: str, right: str) -> str:
+    """Canonical name the engine registers join models under."""
+    return f"{left}_join_{right}"
+
+
+def precompute_join_sample(
+    left: Table,
+    right: Table,
+    left_key: str,
+    right_key: str,
+    sample_size: int,
+    rng: np.random.Generator | None = None,
+) -> tuple[Table, int]:
+    """Strategy 1: full join, then a small uniform sample.
+
+    Returns ``(sample, N)`` where ``N`` is the exact join cardinality.
+    """
+    joined = hash_join(
+        left, right, left_key, right_key,
+        name=join_table_name(left.name, right.name),
+    )
+    sample = reservoir_sample_table(joined, sample_size, rng=rng)
+    return sample, joined.n_rows
+
+
+def sampled_join_sample(
+    left: Table,
+    right: Table,
+    left_key: str,
+    right_key: str,
+    sample_size: int,
+    key_fraction: float = 0.1,
+    rng: np.random.Generator | None = None,
+    seed: int = 17,
+) -> tuple[Table, int]:
+    """Strategy 2: universe-sample both sides, join samples, then subsample.
+
+    Universe sampling keeps a key value with probability ``key_fraction``
+    on *both* sides simultaneously, so every join group survives intact
+    with that probability and the sampled-join size is an unbiased
+    ``key_fraction``-fraction estimate of the true join cardinality.
+    """
+    if not 0.0 < key_fraction <= 1.0:
+        raise InvalidParameterError(
+            f"key_fraction must be in (0, 1], got {key_fraction}"
+        )
+    left_sample = hash_sample_table(left, left_key, key_fraction, seed=seed)
+    right_sample = hash_sample_table(right, right_key, key_fraction, seed=seed)
+    joined = hash_join(
+        left_sample, right_sample, left_key, right_key,
+        name=join_table_name(left.name, right.name),
+    )
+    estimated_n = int(round(joined.n_rows / key_fraction))
+    sample = reservoir_sample_table(joined, sample_size, rng=rng)
+    return sample, estimated_n

@@ -1,0 +1,53 @@
+"""Query result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueryResult:
+    """Answer to one analytical query.
+
+    ``values`` maps the aggregate's display string (e.g. ``"SUM(price)"``)
+    to either a float (scalar query) or a dict of group value -> float
+    (GROUP BY query).  ``source`` records whether models answered the
+    query (``"model"``) or it was routed to the fallback engine
+    (``"fallback"``); ``elapsed_seconds`` is wall-clock execution time
+    excluding parsing.
+    """
+
+    values: dict[str, float | dict] = field(default_factory=dict)
+    source: str = "model"
+    elapsed_seconds: float = 0.0
+    sql: str = ""
+
+    def scalar(self, aggregate: str | None = None) -> float:
+        """The single scalar answer; convenience for one-aggregate queries."""
+        if aggregate is None:
+            if len(self.values) != 1:
+                raise KeyError(
+                    f"result has {len(self.values)} aggregates; name one of "
+                    f"{list(self.values)}"
+                )
+            value = next(iter(self.values.values()))
+        else:
+            value = self.values[aggregate]
+        if isinstance(value, dict):
+            raise KeyError("result is grouped; use .groups() instead of .scalar()")
+        return value
+
+    def groups(self, aggregate: str | None = None) -> dict:
+        """The per-group answers of a GROUP BY query."""
+        if aggregate is None:
+            if len(self.values) != 1:
+                raise KeyError(
+                    f"result has {len(self.values)} aggregates; name one of "
+                    f"{list(self.values)}"
+                )
+            value = next(iter(self.values.values()))
+        else:
+            value = self.values[aggregate]
+        if not isinstance(value, dict):
+            raise KeyError("result is scalar; use .scalar() instead of .groups()")
+        return value

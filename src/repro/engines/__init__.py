@@ -1,0 +1,28 @@
+"""Baseline query engines the paper compares DBEst against.
+
+* :class:`ExactEngine` — exact columnar evaluation over full tables (the
+  ground-truth oracle).  Pointed at samples with a known population size,
+  it becomes the "approximate MonetDB" configuration of Appendix C.
+* :class:`UniformAQPEngine` — VerdictDB-like sample-based AQP: offline
+  uniform samples per table, hash (universe) samples for join keys,
+  Horvitz–Thompson scaling for COUNT/SUM, and CLT confidence intervals.
+* :class:`StratifiedAQPEngine` — BlinkDB-like AQP over stratified samples
+  with per-stratum weights.
+"""
+
+from repro.engines.base import BaseEngine
+from repro.engines.bounds import clt_half_width, hoeffding_count_relative_error
+from repro.engines.exact import ExactEngine
+from repro.engines.online_aqp import OnlineAQPEngine
+from repro.engines.stratified_aqp import StratifiedAQPEngine
+from repro.engines.uniform_aqp import UniformAQPEngine
+
+__all__ = [
+    "BaseEngine",
+    "ExactEngine",
+    "OnlineAQPEngine",
+    "StratifiedAQPEngine",
+    "UniformAQPEngine",
+    "clt_half_width",
+    "hoeffding_count_relative_error",
+]

@@ -1,0 +1,144 @@
+"""Shared machinery for the baseline engines.
+
+All engines share the same public contract as DBEst: register tables,
+then ``execute(sql_or_query) -> QueryResult``.  This module also houses
+the exact aggregate evaluation over numpy arrays that both the exact
+engine and the sample-based engines (after scaling) rely on.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.result import QueryResult
+from repro.errors import (
+    InvalidParameterError,
+    QueryExecutionError,
+    UnknownTableError,
+)
+from repro.sql.ast import AggregateCall, Query
+from repro.sql.parser import parse_query
+from repro.sql.validator import validate_query
+from repro.storage.predicates import evaluate_predicates
+from repro.storage.table import Table
+
+
+def exact_aggregate(
+    values: np.ndarray,
+    aggregate: AggregateCall,
+    scale: float = 1.0,
+) -> float:
+    """Exact aggregate over selected values, with optional N/n scaling.
+
+    ``scale`` is the inverse sampling fraction: COUNT and SUM are scaled
+    (they estimate population totals), AVG/VARIANCE/STDDEV/PERCENTILE are
+    not (they estimate population ratios, which uniform samples estimate
+    directly).
+    """
+    func = aggregate.func
+    if func == "COUNT":
+        return float(values.shape[0]) * scale
+    if values.shape[0] == 0:
+        return 0.0 if func == "SUM" else float("nan")
+    if func == "SUM":
+        return float(values.sum()) * scale
+    if func == "AVG":
+        return float(values.mean())
+    if func == "VARIANCE":
+        return float(values.var())
+    if func == "STDDEV":
+        return float(values.std())
+    if func == "PERCENTILE":
+        return float(np.quantile(values, aggregate.parameter))
+    raise QueryExecutionError(f"unsupported aggregate {func!r}")
+
+
+class BaseEngine(ABC):
+    """Common table registry + query plumbing for baseline engines."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.tables: dict[str, Table] = {}
+
+    def register_table(self, table: Table) -> None:
+        if not table.name:
+            raise InvalidParameterError("tables must be named to be registered")
+        self.tables[table.name] = table
+
+    def _get_table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def execute(self, sql: str | Query) -> QueryResult:
+        """Parse (if needed), validate, time, and evaluate a query."""
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        validate_query(query)
+        start = time.perf_counter()
+        values = self._evaluate(query)
+        elapsed = time.perf_counter() - start
+        return QueryResult(
+            values=values,
+            source=self.name,
+            elapsed_seconds=elapsed,
+            sql=sql if isinstance(sql, str) else query.to_sql(),
+        )
+
+    @abstractmethod
+    def _evaluate(self, query: Query) -> dict:
+        """Produce the ``values`` dict for a validated query."""
+
+    # -- shared evaluation over a materialised table ------------------------
+
+    @staticmethod
+    def _aggregate_table(
+        table: Table,
+        query: Query,
+        scale: float = 1.0,
+        group_scales: dict | None = None,
+    ) -> dict:
+        """Evaluate every aggregate of ``query`` over ``table``.
+
+        ``scale`` applies to COUNT/SUM; ``group_scales`` overrides the
+        scale per group value (used by stratified samples, where each
+        stratum has its own sampling fraction).
+        """
+        mask = evaluate_predicates(
+            table,
+            ranges=[(r.column, r.low, r.high) for r in query.ranges],
+            equalities=[(e.column, e.value) for e in query.equalities],
+        )
+        selected = table.filter(mask)
+
+        values: dict[str, float | dict] = {}
+        if query.group_by is None:
+            for aggregate in query.aggregates:
+                column = aggregate.column or selected.column_names[0]
+                values[str(aggregate)] = exact_aggregate(
+                    selected[column], aggregate, scale=scale
+                )
+            return values
+
+        groups = selected[query.group_by]
+        group_values = np.unique(groups)
+        for aggregate in query.aggregates:
+            column = aggregate.column or selected.column_names[0]
+            data = selected[column]
+            per_group: dict = {}
+            for value in group_values.tolist():
+                in_group = groups == value
+                group_scale = (
+                    group_scales.get(value, scale)
+                    if group_scales is not None
+                    else scale
+                )
+                per_group[value] = exact_aggregate(
+                    data[in_group], aggregate, scale=group_scale
+                )
+            values[str(aggregate)] = per_group
+        return values

@@ -1,0 +1,55 @@
+"""A-priori and a-posteriori error bounds for sample-based AQP.
+
+Sampling-based engines can promise error bounds that model-based DBEst
+cannot (a limitation the paper concedes).  This module implements the two
+bounds the paper discusses:
+
+* :func:`hoeffding_count_relative_error` — the Appendix C formula
+  ``1.22 / (s * sqrt(n))`` for the 0.9-probability Hoeffding bound on a
+  COUNT's relative error at selectivity ``s`` and sample size ``n``.
+* :func:`clt_half_width` — central-limit-theorem confidence half-width
+  for a sample mean, used by the VerdictDB-like engine to attach
+  confidence intervals to its answers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+
+# Two-sided standard-normal quantiles for common confidence levels.
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def hoeffding_count_relative_error(selectivity: float, n: int) -> float:
+    """0.9-probability Hoeffding bound on COUNT relative error.
+
+    ``selectivity`` is the fraction of rows passing all predicates and
+    ``n`` the sample size (paper Appendix C, citing [20]).
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise InvalidParameterError(
+            f"selectivity must be in (0, 1], got {selectivity}"
+        )
+    if n <= 0:
+        raise InvalidParameterError(f"sample size must be positive, got {n}")
+    return 1.22 / (selectivity * math.sqrt(n))
+
+
+def clt_half_width(
+    sample_std: float,
+    n: int,
+    confidence: float = 0.95,
+) -> float:
+    """CLT confidence-interval half width ``z * s / sqrt(n)`` for a mean."""
+    if n <= 0:
+        raise InvalidParameterError(f"sample size must be positive, got {n}")
+    if sample_std < 0:
+        raise InvalidParameterError(f"std must be >= 0, got {sample_std}")
+    z = _Z_VALUES.get(round(confidence, 2))
+    if z is None:
+        raise InvalidParameterError(
+            f"confidence must be one of {sorted(_Z_VALUES)}, got {confidence}"
+        )
+    return z * sample_std / math.sqrt(n)

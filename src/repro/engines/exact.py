@@ -1,0 +1,56 @@
+"""Exact query engine.
+
+Serves two roles in the reproduction:
+
+1. **Ground truth** — registered with full tables, it computes the exact
+   answers relative errors are measured against.
+2. **Approximate MonetDB** (paper Appendix C) — registered with a uniform
+   *sample* and the population size via :meth:`register_sample`, it
+   becomes an exact-answer engine operating on samples: fast columnar
+   scans, COUNT/SUM scaled by N/n, no error model.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import BaseEngine
+from repro.errors import InvalidParameterError
+from repro.sql.ast import Query
+from repro.storage.join import hash_join
+from repro.storage.table import Table
+
+
+class ExactEngine(BaseEngine):
+    """Exact columnar evaluation with optional per-table N/n scaling."""
+
+    name = "exact"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._population: dict[str, int] = {}
+
+    def register_sample(self, sample: Table, population_size: int) -> None:
+        """Register a sample standing in for a table of ``population_size`` rows."""
+        if population_size < sample.n_rows:
+            raise InvalidParameterError(
+                f"population_size {population_size} is smaller than the "
+                f"sample ({sample.n_rows} rows)"
+            )
+        self.register_table(sample)
+        self._population[sample.name] = int(population_size)
+
+    def _scale(self, name: str, table: Table) -> float:
+        population = self._population.get(name)
+        if population is None or table.n_rows == 0:
+            return 1.0
+        return population / table.n_rows
+
+    def _evaluate(self, query: Query) -> dict:
+        table = self._get_table(query.table)
+        scale = self._scale(query.table, table)
+        for join in query.joins:
+            right = self._get_table(join.table)
+            # Scaling composes multiplicatively when joining samples; the
+            # ground-truth configuration has every factor equal to 1.
+            scale *= self._scale(join.table, right)
+            table = hash_join(table, right, join.left_key, join.right_key)
+        return self._aggregate_table(table, query, scale=scale)

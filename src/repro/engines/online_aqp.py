@@ -1,0 +1,58 @@
+"""Online-sampling AQP engine (QuickR-like).
+
+The paper's architecture routes queries DBEst has no models for to "an
+underlying system in the level below ... another AQP engine (e.g., one
+with online sampling, QuickR)".  This engine implements that class: no
+offline state at all — each query draws a fresh uniform sample from the
+base table, answers from it with Horvitz–Thompson scaling, and throws
+the sample away.  The paper notes such engines deliver only ~2x
+speedups; here the cost shows up as per-query sampling latency growing
+with the base table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.base import BaseEngine
+from repro.errors import InvalidParameterError
+from repro.sampling.reservoir import reservoir_sample_table
+from repro.sql.ast import Query
+from repro.storage.join import hash_join
+
+
+class OnlineAQPEngine(BaseEngine):
+    """Sample-at-query-time AQP with no prebuilt state."""
+
+    name = "online_aqp"
+
+    def __init__(
+        self,
+        sample_size: int = 10_000,
+        random_seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        if sample_size <= 0:
+            raise InvalidParameterError(
+                f"sample_size must be positive, got {sample_size}"
+            )
+        self.sample_size = sample_size
+        self._rng = np.random.default_rng(random_seed)
+
+    def state_size_bytes(self) -> int:
+        """Online engines keep nothing between queries."""
+        return 0
+
+    def _evaluate(self, query: Query) -> dict:
+        table = self._get_table(query.table)
+        for join in query.joins:
+            # Online engines must join before sampling (sampling the fact
+            # side first would break join semantics without key-synchronised
+            # hashing, which requires prebuilt state by definition).
+            table = hash_join(
+                table, self._get_table(join.table), join.left_key, join.right_key
+            )
+        population = table.n_rows
+        sample = reservoir_sample_table(table, self.sample_size, rng=self._rng)
+        scale = population / max(sample.n_rows, 1)
+        return self._aggregate_table(sample, query, scale=scale)

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the DBEst reproduction.
+
+Every error raised on a public code path derives from :class:`ReproError`
+so callers can catch one base class.  Sub-hierarchies mirror the package
+layout: storage, SQL front end, model/catalog, and query execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Problems with tables, schemas, or on-disk data."""
+
+
+class UnknownTableError(StorageError):
+    """A query or API call referenced a table that is not registered."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown table: {name!r}")
+        self.name = name
+
+
+class UnknownColumnError(StorageError):
+    """A query or API call referenced a column the table does not have."""
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(f"table {table!r} has no column {column!r}")
+        self.table = table
+        self.column = column
+
+
+class SchemaMismatchError(StorageError):
+    """Two tables or columns had incompatible shapes or dtypes."""
+
+
+class SQLError(ReproError):
+    """Base class for errors in the SQL front end."""
+
+
+class SQLSyntaxError(SQLError):
+    """The query text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedQueryError(SQLError):
+    """The query parsed but uses features DBEst does not support."""
+
+
+class ModelError(ReproError):
+    """Base class for model-building and catalog errors."""
+
+
+class ModelNotFoundError(ModelError):
+    """No registered model can answer the query at hand."""
+
+
+class ModelTrainingError(ModelError):
+    """A model could not be trained (e.g. empty or degenerate sample)."""
+
+
+class CatalogError(ModelError):
+    """The model catalog was used inconsistently."""
+
+
+class BundleError(ModelError):
+    """A model bundle could not be serialized or restored."""
+
+
+class QueryExecutionError(ReproError):
+    """A query failed while being evaluated against models or samples."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A public API received an out-of-range or malformed argument."""

@@ -1,0 +1,21 @@
+"""Experiment harness: run query workloads against engines, collect
+relative errors and latencies, and print paper-figure-shaped tables."""
+
+from repro.harness.report import format_table, print_figure
+from repro.harness.runner import (
+    EngineRun,
+    QueryRecord,
+    compare_engines,
+    run_workload,
+    summarize_by_aggregate,
+)
+
+__all__ = [
+    "EngineRun",
+    "QueryRecord",
+    "compare_engines",
+    "format_table",
+    "print_figure",
+    "run_workload",
+    "summarize_by_aggregate",
+]

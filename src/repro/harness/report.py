@@ -1,0 +1,74 @@
+"""Plain-text tables shaped like the paper's figures.
+
+Benchmarks print these so a reader can compare measured series against
+the published plots without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else list(rows[0])
+    rendered = [[_format_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in rendered))
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    divider = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rendered
+    )
+    return f"{header}\n{divider}\n{body}"
+
+
+def print_figure(
+    figure_id: str,
+    title: str,
+    rows: Sequence[dict],
+    columns: Sequence[str] | None = None,
+    notes: str | None = None,
+) -> None:
+    """Print one figure-shaped table with a header banner."""
+    banner = f"== {figure_id}: {title} =="
+    print()
+    print(banner)
+    print(format_table(rows, columns))
+    if notes:
+        print(f"   note: {notes}")
+
+
+def histogram_rows(errors: dict, n_bins: int = 8) -> list[dict]:
+    """Bucket per-group errors into histogram rows (paper Figs. 17/22/24)."""
+    import numpy as np
+
+    values = np.asarray(
+        [v for v in errors.values() if not math.isnan(v)], dtype=float
+    )
+    if values.size == 0:
+        return []
+    counts, edges = np.histogram(values, bins=n_bins)
+    return [
+        {
+            "error_bin": f"[{edges[i]*100:.1f}%, {edges[i+1]*100:.1f}%)",
+            "groups": int(counts[i]),
+        }
+        for i in range(len(counts))
+    ]

@@ -1,0 +1,169 @@
+"""Workload execution and error/latency collection.
+
+Given a workload of SQL strings, a ground-truth engine, and one or more
+engines under test, the runner executes every query everywhere, computes
+per-query relative errors against the truth, and aggregates them the way
+the paper's figures do (mean relative error per AF, mean latency per
+engine, per-group error distributions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.metrics import relative_error
+
+
+@dataclass
+class QueryRecord:
+    """Outcome of one query on one engine."""
+
+    sql: str
+    aggregate: str
+    engine: str
+    estimate: float | dict
+    truth: float | dict
+    elapsed_seconds: float
+    relative_error: float
+
+
+@dataclass
+class EngineRun:
+    """All records for one engine over one workload."""
+
+    engine: str
+    records: list[QueryRecord] = field(default_factory=list)
+
+    def mean_relative_error(self, aggregate: str | None = None) -> float:
+        errors = [
+            r.relative_error
+            for r in self.records
+            if (aggregate is None or r.aggregate == aggregate)
+            and not math.isnan(r.relative_error)
+        ]
+        return float(np.mean(errors)) if errors else float("nan")
+
+    def mean_latency(self) -> float:
+        return float(np.mean([r.elapsed_seconds for r in self.records]))
+
+    def total_latency(self) -> float:
+        return float(np.sum([r.elapsed_seconds for r in self.records]))
+
+
+def _scalar_error(truth: float, estimate: float) -> float:
+    if isinstance(truth, float) and math.isnan(truth):
+        return float("nan")
+    return relative_error(truth, estimate)
+
+
+def _grouped_error(truth: dict, estimate: dict) -> float:
+    """Mean per-group relative error over the truth's groups.
+
+    Groups the engine missed entirely count as 100 % error; spurious
+    groups in the estimate are ignored (matching how the paper averages
+    per-group errors).
+    """
+    errors = []
+    for value, true_value in truth.items():
+        if isinstance(true_value, float) and math.isnan(true_value):
+            continue
+        if value in estimate and not (
+            isinstance(estimate[value], float) and math.isnan(estimate[value])
+        ):
+            errors.append(relative_error(true_value, estimate[value]))
+        else:
+            errors.append(1.0)
+    return float(np.mean(errors)) if errors else float("nan")
+
+
+def record_error(truth, estimate) -> float:
+    """Relative error between matching scalar or grouped answers."""
+    if isinstance(truth, dict) and isinstance(estimate, dict):
+        return _grouped_error(truth, estimate)
+    if isinstance(truth, dict) or isinstance(estimate, dict):
+        return float("nan")
+    return _scalar_error(float(truth), float(estimate))
+
+
+def run_workload(
+    engine,
+    workload,
+    truth_engine,
+    engine_name: str | None = None,
+) -> EngineRun:
+    """Execute every workload query on ``engine``; score against truth."""
+    name = engine_name or getattr(engine, "name", type(engine).__name__)
+    run = EngineRun(engine=name)
+    aggregates = getattr(workload, "aggregates", None)
+    for i, sql in enumerate(workload):
+        truth_result = truth_engine.execute(sql)
+        result = engine.execute(sql)
+        for agg_key, truth_value in truth_result.values.items():
+            estimate = result.values.get(agg_key, float("nan"))
+            run.records.append(
+                QueryRecord(
+                    sql=sql,
+                    aggregate=(
+                        aggregates[i] if aggregates else agg_key.split("(")[0]
+                    ),
+                    engine=name,
+                    estimate=estimate,
+                    truth=truth_value,
+                    elapsed_seconds=result.elapsed_seconds,
+                    relative_error=record_error(truth_value, estimate),
+                )
+            )
+    return run
+
+
+def compare_engines(
+    engines: dict[str, object],
+    workload,
+    truth_engine,
+) -> dict[str, EngineRun]:
+    """Run the same workload on several engines."""
+    return {
+        name: run_workload(engine, workload, truth_engine, engine_name=name)
+        for name, engine in engines.items()
+    }
+
+
+def summarize_by_aggregate(
+    runs: dict[str, EngineRun],
+    aggregates: tuple[str, ...] = ("COUNT", "SUM", "AVG"),
+) -> list[dict]:
+    """Rows of {engine, COUNT, SUM, AVG, OVERALL} mean relative errors —
+    the shape of the paper's error bar charts."""
+    rows = []
+    for name, run in runs.items():
+        row: dict = {"engine": name}
+        for aggregate in aggregates:
+            row[aggregate] = run.mean_relative_error(aggregate)
+        row["OVERALL"] = run.mean_relative_error()
+        rows.append(row)
+    return rows
+
+
+def per_group_errors(
+    engine,
+    sql: str,
+    truth_engine,
+) -> dict:
+    """Per-group relative errors for one GROUP BY query (histogram data)."""
+    truth = truth_engine.execute(sql)
+    estimate = engine.execute(sql)
+    truth_groups = next(iter(truth.values.values()))
+    estimate_groups = next(iter(estimate.values.values()))
+    errors = {}
+    for value, true_value in truth_groups.items():
+        if isinstance(true_value, float) and math.isnan(true_value):
+            continue
+        got = estimate_groups.get(value)
+        if got is None or (isinstance(got, float) and math.isnan(got)):
+            errors[value] = 1.0
+        else:
+            errors[value] = relative_error(true_value, got)
+    return errors

@@ -1,0 +1,92 @@
+"""Small timing utilities shared by benches and the throughput experiment."""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+
+# Worker-process global: the engine deserialised once per worker by
+# _init_worker, reused for every query the worker drains.
+_WORKER_ENGINE = None
+
+
+@contextmanager
+def stopwatch():
+    """``with stopwatch() as t: ...; t.seconds`` — wall-clock timing."""
+
+    class _Timer:
+        seconds: float = 0.0
+
+    timer = _Timer()
+    start = time.perf_counter()
+    try:
+        yield timer
+    finally:
+        timer.seconds = time.perf_counter() - start
+
+
+def _init_worker(engine_bytes: bytes) -> None:
+    from repro.core.parallel import limit_blas_threads
+
+    global _WORKER_ENGINE
+    limit_blas_threads(1)
+    _WORKER_ENGINE = pickle.loads(engine_bytes)
+
+
+def _run_query(sql: str):
+    result = _WORKER_ENGINE.execute(sql)
+    # Return only the values; QueryResult itself is picklable but the
+    # caller just drains the workload.
+    return result.values
+
+
+def _warm_sleep(seconds: float) -> None:
+    time.sleep(seconds)
+
+
+def total_workload_time(
+    engine,
+    workload,
+    n_processes: int = 1,
+    mode: str = "process",
+) -> float:
+    """Wall-clock time to drain a workload with ``n_processes`` workers.
+
+    This is the paper's inter-query-parallelism throughput experiment
+    (§4.7.2): each query runs single-threaded, but ``n_processes``
+    queries run concurrently.  ``mode="process"`` replicates the paper's
+    multi-process workaround for the GIL (each worker deserialises its
+    own engine copy during pool start-up, which is excluded from the
+    timed window); ``mode="thread"`` is available for engines that are
+    not picklable.
+    """
+    queries = list(workload)
+    if n_processes <= 1:
+        start = time.perf_counter()
+        for sql in queries:
+            engine.execute(sql)
+        return time.perf_counter() - start
+
+    if mode == "thread":
+        with ThreadPoolExecutor(max_workers=n_processes) as pool:
+            start = time.perf_counter()
+            list(pool.map(engine.execute, queries))
+            return time.perf_counter() - start
+
+    engine_bytes = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
+    with ProcessPoolExecutor(
+        max_workers=n_processes,
+        initializer=_init_worker,
+        initargs=(engine_bytes,),
+    ) as pool:
+        # Force every worker to spawn and deserialise its engine before the
+        # timed window: n_processes simultaneous sleeps occupy one worker
+        # each, so the pool cannot satisfy them without starting all.
+        warm = [pool.submit(_warm_sleep, 0.2) for _ in range(n_processes)]
+        for future in warm:
+            future.result()
+        start = time.perf_counter()
+        list(pool.map(_run_query, queries))
+        return time.perf_counter() - start

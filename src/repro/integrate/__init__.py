@@ -1,0 +1,25 @@
+"""Numerical integration and root finding.
+
+DBEst evaluates aggregates as integrals of the density estimator, weighted
+by the regression model (paper §3 "Integral Evaluation").  The paper uses
+SciPy's QUADPACK wrapper; we expose that as the adaptive method and add a
+fixed Simpson grid, which is the default because the weighted integrands
+(tree-ensemble predictions) are piecewise constant and cheap to evaluate in
+a single vectorised batch.
+"""
+
+from repro.integrate.quadrature import (
+    adaptive_quad,
+    integrate_product,
+    simpson_integrate,
+    simpson_weights,
+)
+from repro.integrate.roots import bisect
+
+__all__ = [
+    "adaptive_quad",
+    "bisect",
+    "integrate_product",
+    "simpson_integrate",
+    "simpson_weights",
+]

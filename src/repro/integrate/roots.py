@@ -1,0 +1,51 @@
+"""Root finding for percentile queries.
+
+PERCENTILE(x, p) asks for the value ``a`` with ``F(a) = p`` where ``F`` is
+the KDE's cumulative distribution function.  There is no closed form for
+``F^{-1}``, so — exactly as in the paper — we solve ``F(a) - p = 0`` with
+the naive bisection method.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import InvalidParameterError, QueryExecutionError
+
+
+def bisect(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = 1e-8,
+    max_iter: int = 200,
+) -> float:
+    """Find a root of ``f`` in ``[lo, hi]`` by bisection.
+
+    Requires ``f(lo)`` and ``f(hi)`` to bracket zero (opposite signs or one
+    of them exactly zero).  Converges linearly; ``max_iter`` of 200 is far
+    beyond what a ``tol`` of 1e-8 over any realistic domain needs.
+    """
+    if hi < lo:
+        raise InvalidParameterError(f"bisection interval reversed: [{lo}, {hi}]")
+    f_lo = f(lo)
+    f_hi = f(hi)
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if (f_lo > 0) == (f_hi > 0):
+        raise QueryExecutionError(
+            f"bisection interval [{lo}, {hi}] does not bracket a root "
+            f"(f(lo)={f_lo:.3g}, f(hi)={f_hi:.3g})"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        f_mid = f(mid)
+        if f_mid == 0.0 or (hi - lo) < tol:
+            return mid
+        if (f_mid > 0) == (f_hi > 0):
+            hi, f_hi = mid, f_mid
+        else:
+            lo, f_lo = mid, f_mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,63 @@
+"""Shared feature-binning utilities for histogram-based tree learners.
+
+Both the CART regressor and the XGBoost-style booster pre-discretise each
+feature into at most ``max_bins`` quantile bins, then search splits over
+bin boundaries using ``np.bincount`` histograms — the same strategy
+LightGBM/XGBoost's "hist" mode uses, which keeps split finding O(bins)
+per node instead of O(n log n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelTrainingError
+
+
+def compute_bin_edges(x: np.ndarray, max_bins: int) -> np.ndarray:
+    """Quantile bin edges (interior boundaries only) for one feature.
+
+    Returns at most ``max_bins - 1`` strictly increasing thresholds; a
+    constant feature yields an empty edge array and can never be split.
+    """
+    quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+    edges = np.unique(np.quantile(x, quantiles))
+    # An edge at the feature maximum cannot separate anything ("x <= max"
+    # is always true); dropping it makes constant features unsplittable.
+    edges = edges[edges < x.max()]
+    return edges.astype(np.float64, copy=False)
+
+
+def bin_codes(x: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Map feature values to bin indices in ``[0, len(edges)]``."""
+    return np.searchsorted(edges, x, side="left").astype(np.int32, copy=False)
+
+
+class BinnedFeatures:
+    """Pre-binned view of an (n, d) feature matrix."""
+
+    def __init__(self, X: np.ndarray, max_bins: int = 256) -> None:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ModelTrainingError(
+                f"expected a non-empty (n, d) feature matrix, got shape {X.shape}"
+            )
+        if not np.all(np.isfinite(X)):
+            raise ModelTrainingError("feature matrix contains non-finite values")
+        self.n_rows, self.n_features = X.shape
+        self.edges: list[np.ndarray] = []
+        codes = np.empty((self.n_rows, self.n_features), dtype=np.int32)
+        for j in range(self.n_features):
+            edges = compute_bin_edges(X[:, j], max_bins)
+            self.edges.append(edges)
+            codes[:, j] = bin_codes(X[:, j], edges)
+        self.codes = codes
+
+    def n_bins(self, feature: int) -> int:
+        return self.edges[feature].shape[0] + 1
+
+    def threshold(self, feature: int, split_bin: int) -> float:
+        """Raw-value threshold equivalent to 'code <= split_bin'."""
+        return float(self.edges[feature][split_bin])

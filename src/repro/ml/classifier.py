@@ -1,0 +1,164 @@
+"""Decision-tree classifier (gini impurity, histogram splits).
+
+The paper trains an "XGBoost classifier" to learn which constituent
+regressor answers a given range predicate best (§3 "Regression Model
+Selection").  The feature space there is tiny (lb, ub of the range), so a
+single gini decision tree is an adequate stand-in; it is also reusable as
+a general small classifier in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelTrainingError
+from repro.ml._histogram import BinnedFeatures
+
+
+class DecisionTreeClassifier:
+    """Multi-class decision tree using gini impurity and binned splits."""
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 2,
+        max_bins: int = 128,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_bins = max_bins
+        self.classes_: np.ndarray | None = None
+        self._feature: np.ndarray | None = None
+        self._threshold: np.ndarray | None = None
+        self._left: np.ndarray | None = None
+        self._right: np.ndarray | None = None
+        self._label: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Fit to (n, d) features and arbitrary hashable labels."""
+        y = np.asarray(y)
+        if y.shape[0] == 0:
+            raise ModelTrainingError("cannot fit a classifier to zero rows")
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        binned = BinnedFeatures(X, max_bins=self.max_bins)
+        if encoded.shape[0] != binned.n_rows:
+            raise ModelTrainingError(
+                f"X has {binned.n_rows} rows but y has {encoded.shape[0]}"
+            )
+
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        label: list[int] = []
+
+        def add_node() -> int:
+            feature.append(-1)
+            threshold.append(0.0)
+            left.append(-1)
+            right.append(-1)
+            label.append(0)
+            return len(feature) - 1
+
+        n_classes = self.classes_.shape[0]
+
+        def grow(node: int, indices: np.ndarray, depth: int) -> None:
+            node_y = encoded[indices]
+            counts = np.bincount(node_y, minlength=n_classes)
+            label[node] = int(np.argmax(counts))
+            if depth >= self.max_depth or indices.shape[0] < 2 * self.min_samples_leaf:
+                return
+            if counts.max() == indices.shape[0]:  # pure node
+                return
+            split = self._best_split(binned, node_y, indices, n_classes)
+            if split is None:
+                return
+            feat, split_bin = split
+            go_left = binned.codes[indices, feat] <= split_bin
+            feature[node] = feat
+            threshold[node] = binned.threshold(feat, split_bin)
+            lnode = add_node()
+            rnode = add_node()
+            left[node] = lnode
+            right[node] = rnode
+            grow(lnode, indices[go_left], depth + 1)
+            grow(rnode, indices[~go_left], depth + 1)
+
+        root = add_node()
+        grow(root, np.arange(binned.n_rows, dtype=np.intp), 0)
+
+        self._feature = np.asarray(feature, dtype=np.int32)
+        self._threshold = np.asarray(threshold, dtype=np.float64)
+        self._left = np.asarray(left, dtype=np.int32)
+        self._right = np.asarray(right, dtype=np.int32)
+        self._label = np.asarray(label, dtype=np.int64)
+        return self
+
+    def _best_split(
+        self,
+        binned: BinnedFeatures,
+        node_y: np.ndarray,
+        indices: np.ndarray,
+        n_classes: int,
+    ) -> tuple[int, int] | None:
+        """Best (feature, split_bin) by gini reduction, or None."""
+        n = indices.shape[0]
+        best_score = -np.inf
+        best: tuple[int, int] | None = None
+        for feat in range(binned.n_features):
+            n_bins = binned.n_bins(feat)
+            if n_bins < 2:
+                continue
+            codes = binned.codes[indices, feat]
+            # Joint histogram of (bin, class): rows bins, cols classes.
+            joint = np.bincount(
+                codes * n_classes + node_y, minlength=n_bins * n_classes
+            ).reshape(n_bins, n_classes)
+            left_counts = np.cumsum(joint, axis=0)[:-1]  # (n_bins-1, C)
+            left_totals = left_counts.sum(axis=1)
+            right_counts = joint.sum(axis=0)[None, :] - left_counts
+            right_totals = n - left_totals
+            valid = (left_totals >= self.min_samples_leaf) & (
+                right_totals >= self.min_samples_leaf
+            )
+            if not valid.any():
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                # Weighted gini = sum_side total*(1 - sum p^2); minimising it
+                # is maximising sum_side (sum counts^2)/total.
+                score = np.where(
+                    valid,
+                    (left_counts**2).sum(axis=1) / left_totals
+                    + (right_counts**2).sum(axis=1) / right_totals,
+                    -np.inf,
+                )
+            split_bin = int(np.argmax(score))
+            if score[split_bin] > best_score:
+                best_score = float(score[split_bin])
+                best = (feat, split_bin)
+        return best
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._feature is not None
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels for (n, d) inputs."""
+        if self._feature is None:
+            raise ModelTrainingError("classifier used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        position = np.zeros(X.shape[0], dtype=np.int32)
+        for _ in range(self.max_depth + 1):
+            feat = self._feature[position]
+            internal = feat >= 0
+            if not internal.any():
+                break
+            rows = np.flatnonzero(internal)
+            thresholds = self._threshold[position[rows]]
+            go_left = X[rows, feat[rows]] <= thresholds
+            position[rows] = np.where(
+                go_left, self._left[position[rows]], self._right[position[rows]]
+            )
+        return self.classes_[self._label[position]]

@@ -1,0 +1,183 @@
+"""Ensemble regressor with a learned per-query-range model selector.
+
+Paper §3 ("Regression Model Selection"): DBEst trains several constituent
+regressors (GBoost, XGBoost, piecewise-linear), evaluates each on random
+range queries over the independent attribute's domain, and trains a
+classifier that, given a query's range ``[lb, ub]``, picks the constituent
+that answers that region best.  This module reproduces that design.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from functools import partial
+
+import numpy as np
+
+from repro.errors import ModelTrainingError
+from repro.ml.classifier import DecisionTreeClassifier
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.linear import PiecewiseLinearRegressor
+from repro.ml.xgb import XGBRegressor
+
+
+def default_constituents() -> dict[str, Callable[[], object]]:
+    """The constituent set the paper describes: GBoost + XGBoost (+ PLR).
+
+    Factories are ``functools.partial`` objects so fitted ensembles stay
+    picklable (model catalogs and bundles are serialised with pickle).
+    """
+    return {
+        "gboost": partial(
+            GradientBoostingRegressor,
+            n_estimators=60, learning_rate=0.15, max_depth=4,
+        ),
+        "xgboost": partial(
+            XGBRegressor,
+            n_estimators=60, learning_rate=0.15, max_depth=4, reg_lambda=1.0,
+        ),
+        "plr": partial(PiecewiseLinearRegressor, n_knots=8),
+    }
+
+
+class EnsembleRegressor:
+    """Constituent regressors routed by a learned range classifier.
+
+    Parameters
+    ----------
+    constituents:
+        Mapping of name to zero-argument factory producing an estimator
+        with ``fit``/``predict``.  Defaults to GBoost + XGBoost + PLR.
+    n_eval_queries:
+        Number of random range queries used to label training data for
+        the selector classifier.
+    min_eval_points:
+        Ranges that select fewer training points than this are rediscarded
+        when building selector labels.
+    random_state:
+        Seed for query generation.
+    """
+
+    def __init__(
+        self,
+        constituents: Mapping[str, Callable[[], object]] | None = None,
+        n_eval_queries: int = 60,
+        min_eval_points: int = 5,
+        random_state: int | None = None,
+    ) -> None:
+        factories = (
+            default_constituents() if constituents is None else dict(constituents)
+        )
+        if not factories:
+            raise ModelTrainingError("ensemble needs at least one constituent")
+        self._factories = factories
+        self.n_eval_queries = n_eval_queries
+        self.min_eval_points = min_eval_points
+        self.random_state = random_state
+        self.models_: dict[str, object] = {}
+        self.selector_: DecisionTreeClassifier | None = None
+        self._default_name: str | None = None
+        self._domain: tuple[float, float] | None = None
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "EnsembleRegressor":
+        """Fit constituents, then train the per-range selector."""
+        x = np.asarray(X, dtype=np.float64)
+        if x.ndim == 2:
+            if x.shape[1] != 1:
+                # Multivariate: fall back to a single best constituent.
+                return self._fit_multivariate(x, y)
+            x = x[:, 0]
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ModelTrainingError(
+                f"X has {x.shape[0]} rows but y has {y.shape[0]}"
+            )
+
+        self.models_ = {name: factory() for name, factory in self._factories.items()}
+        for model in self.models_.values():
+            model.fit(x, y)
+
+        lo, hi = float(x.min()), float(x.max())
+        self._domain = (lo, hi)
+        rng = np.random.default_rng(self.random_state)
+
+        features: list[list[float]] = []
+        labels: list[str] = []
+        global_scores = {name: 0.0 for name in self.models_}
+        for _ in range(self.n_eval_queries):
+            a, b = np.sort(rng.uniform(lo, hi, size=2))
+            in_range = (x >= a) & (x <= b)
+            if int(in_range.sum()) < self.min_eval_points:
+                continue
+            truth = float(y[in_range].mean())
+            xs = x[in_range]
+            best_name, best_err = None, np.inf
+            for name, model in self.models_.items():
+                estimate = float(np.mean(model.predict(xs)))
+                err = abs(estimate - truth)
+                global_scores[name] += err
+                if err < best_err:
+                    best_err, best_name = err, name
+            features.append([a, b])
+            labels.append(best_name)
+
+        self._default_name = min(global_scores, key=global_scores.get)
+        if len(set(labels)) >= 2:
+            self.selector_ = DecisionTreeClassifier(max_depth=4, min_samples_leaf=2)
+            self.selector_.fit(np.asarray(features), np.asarray(labels))
+        else:
+            self.selector_ = None
+        return self
+
+    def _fit_multivariate(self, X: np.ndarray, y: np.ndarray) -> "EnsembleRegressor":
+        """d>1 features: fit tree constituents only, keep the global best."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        self.models_ = {}
+        for name, factory in self._factories.items():
+            model = factory()
+            try:
+                model.fit(X, y)
+            except ModelTrainingError:
+                continue  # e.g. PLR rejects multivariate input
+            self.models_[name] = model
+        if not self.models_:
+            raise ModelTrainingError("no constituent accepted multivariate input")
+        errors = {
+            name: float(np.mean((model.predict(X) - y) ** 2))
+            for name, model in self.models_.items()
+        }
+        self._default_name = min(errors, key=errors.get)
+        self.selector_ = None
+        self._domain = None
+        return self
+
+    # -- prediction --------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.models_)
+
+    def select(self, lb: float | None = None, ub: float | None = None) -> str:
+        """Name of the constituent to use for the query range [lb, ub]."""
+        if not self.models_:
+            raise ModelTrainingError("ensemble used before fit()")
+        if self.selector_ is None or lb is None or ub is None:
+            return self._default_name
+        label = self.selector_.predict(np.asarray([[lb, ub]]))[0]
+        return str(label)
+
+    def predict(
+        self,
+        X: np.ndarray,
+        lb: float | None = None,
+        ub: float | None = None,
+    ) -> np.ndarray:
+        """Predict with the constituent chosen for the given query range."""
+        name = self.select(lb, ub)
+        return self.models_[name].predict(X)
+
+    @property
+    def constituent_names(self) -> list[str]:
+        return list(self.models_)

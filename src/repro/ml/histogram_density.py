@@ -1,0 +1,102 @@
+"""Histogram density estimation.
+
+Paper §3 ("Density Estimator"): "Histograms are the simplest form of
+density estimators and have enjoyed a prominent role in DBs ... However,
+their discrete nature is at odds with the continuous-function view
+employed within DBEst.  Therefore, the kernel density estimation method
+is chosen."  This module implements the rejected alternative — an
+equi-width histogram density with the same interface as the KDE — so the
+choice can be measured (see ``bench_ablation_density.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, ModelTrainingError
+
+
+class HistogramDensity:
+    """Equi-width histogram density with the KDE's evaluation interface.
+
+    The PDF is piecewise constant; the CDF piecewise linear.  ``support``
+    is the observed data range, matching the boundary-reflected KDE.
+    """
+
+    def __init__(self, n_bins: int = 64) -> None:
+        if n_bins < 1:
+            raise InvalidParameterError(f"n_bins must be >= 1, got {n_bins}")
+        self.n_bins = n_bins
+        self._edges: np.ndarray | None = None
+        self._density: np.ndarray | None = None
+        self._cum: np.ndarray | None = None
+        self.n_train = 0
+
+    def fit(self, x: np.ndarray) -> "HistogramDensity":
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size == 0:
+            raise ModelTrainingError("cannot fit a histogram to an empty sample")
+        if not np.all(np.isfinite(x)):
+            raise ModelTrainingError("histogram training data contains non-finite values")
+        self.n_train = int(x.size)
+        lo, hi = float(x.min()), float(x.max())
+        if hi <= lo:
+            hi = lo + max(abs(lo), 1.0) * 1e-9  # degenerate: one sliver bin
+        counts, edges = np.histogram(x, bins=self.n_bins, range=(lo, hi))
+        widths = np.diff(edges)
+        self._edges = edges
+        self._density = counts / (self.n_train * widths)
+        # Cumulative mass at each edge (piecewise-linear CDF knots).
+        self._cum = np.concatenate([[0.0], np.cumsum(counts / self.n_train)])
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._edges is not None
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise ModelTrainingError("histogram density used before fit()")
+
+    @property
+    def support(self) -> tuple[float, float]:
+        self._require_fitted()
+        return float(self._edges[0]), float(self._edges[-1])
+
+    def pdf(self, x: np.ndarray | float) -> np.ndarray:
+        """Piecewise-constant density at the given points."""
+        self._require_fitted()
+        x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        bins = np.clip(
+            np.searchsorted(self._edges, x, side="right") - 1,
+            0,
+            self.n_bins - 1,
+        )
+        out = self._density[bins]
+        lo, hi = self.support
+        out = np.where((x < lo) | (x > hi), 0.0, out)
+        return out
+
+    def cdf(self, x: np.ndarray | float) -> np.ndarray:
+        """Piecewise-linear CDF (linear interpolation between edges)."""
+        self._require_fitted()
+        x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        return np.interp(x, self._edges, self._cum)
+
+    def integrate(self, lb: float, ub: float) -> float:
+        """``∫_lb^ub D(x) dx`` via the piecewise-linear CDF."""
+        if ub < lb:
+            raise InvalidParameterError(f"integration bounds reversed: [{lb}, {ub}]")
+        values = self.cdf(np.asarray([lb, ub]))
+        return float(values[1] - values[0])
+
+    def sample(self, k: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw ``k`` points (uniform within a mass-weighted random bin)."""
+        self._require_fitted()
+        rng = rng or np.random.default_rng()
+        masses = np.diff(self._cum)
+        total = masses.sum()
+        if total <= 0:
+            raise ModelTrainingError("histogram has no mass to sample from")
+        bins = rng.choice(self.n_bins, size=k, p=masses / total)
+        return rng.uniform(self._edges[bins], self._edges[bins + 1])

@@ -1,0 +1,62 @@
+"""Accuracy metrics used across training, tests, and the benchmark harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def _paired(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise InvalidParameterError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise InvalidParameterError("metrics need at least one observation")
+    return y_true, y_pred
+
+
+def relative_error(truth: float, estimate: float) -> float:
+    """``|estimate - truth| / |truth|``; defined as |estimate| when truth is 0.
+
+    This is the metric the paper reports everywhere ("relative error (%)").
+    The zero-truth convention keeps the metric finite for empty ranges.
+    """
+    if truth == 0.0:
+        return abs(estimate)
+    return abs(estimate - truth) / abs(truth)
+
+
+def mean_relative_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Average of :func:`relative_error` over paired arrays."""
+    y_true, y_pred = _paired(y_true, y_pred)
+    return float(
+        np.mean([relative_error(t, p) for t, p in zip(y_true, y_pred)])
+    )
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _paired(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _paired(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 0.0 for a constant target by convention."""
+    y_true, y_pred = _paired(y_true, y_pred)
+    total = float(np.sum((y_true - y_true.mean()) ** 2))
+    if total == 0.0:
+        return 0.0
+    residual = float(np.sum((y_true - y_pred) ** 2))
+    return 1.0 - residual / total

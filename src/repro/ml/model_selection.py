@@ -1,0 +1,140 @@
+"""Model selection: k-fold CV, train/test split, grid search.
+
+The paper uses scikit-learn's ``GridSearchCV`` to tune its regressors with
+cross-validation (§3 "Regression Model Selection"); this module provides
+the equivalent on top of our from-scratch estimators.  An estimator here is
+any class whose instances expose ``fit(X, y)`` and ``predict(X)`` and whose
+constructor accepts the grid's keyword parameters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.ml.metrics import mean_squared_error
+
+
+def k_fold_indices(
+    n: int,
+    k: int,
+    rng: np.random.Generator | None = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold (train_indices, test_indices) pairs over ``range(n)``."""
+    if k < 2:
+        raise InvalidParameterError(f"k-fold needs k >= 2, got {k}")
+    if n < k:
+        raise InvalidParameterError(f"cannot split {n} rows into {k} folds")
+    rng = rng or np.random.default_rng()
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    pairs = []
+    for i, test in enumerate(folds):
+        train = np.concatenate([f for j, f in enumerate(folds) if j != i])
+        pairs.append((train, test))
+    return pairs
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into (X_train, X_test, y_train, y_test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise InvalidParameterError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    X = np.asarray(X)
+    y = np.asarray(y)
+    n = y.shape[0]
+    rng = rng or np.random.default_rng()
+    order = rng.permutation(n)
+    n_test = max(1, int(round(test_fraction * n)))
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class GridSearchCV:
+    """Exhaustive parameter grid search with k-fold cross-validation.
+
+    Parameters
+    ----------
+    estimator_factory:
+        Estimator class (or zero-cost factory) called as
+        ``estimator_factory(**params)`` for each grid point.
+    param_grid:
+        Mapping of parameter name to the list of values to try.
+    cv:
+        Number of folds.
+    scorer:
+        ``scorer(y_true, y_pred) -> float`` where *lower is better*
+        (default: mean squared error).
+    random_state:
+        Seed for the fold shuffling.
+    """
+
+    def __init__(
+        self,
+        estimator_factory: Callable,
+        param_grid: Mapping[str, Sequence],
+        cv: int = 3,
+        scorer: Callable[[np.ndarray, np.ndarray], float] = mean_squared_error,
+        random_state: int | None = None,
+    ) -> None:
+        if not param_grid:
+            raise InvalidParameterError("param_grid must not be empty")
+        self.estimator_factory = estimator_factory
+        self.param_grid = dict(param_grid)
+        self.cv = cv
+        self.scorer = scorer
+        self.random_state = random_state
+        self.best_params_: dict | None = None
+        self.best_score_: float | None = None
+        self.best_estimator_ = None
+        self.results_: list[dict] = []
+
+    def _grid_points(self):
+        names = list(self.param_grid)
+        for values in itertools.product(*(self.param_grid[n] for n in names)):
+            yield dict(zip(names, values))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
+        """Evaluate the full grid, then refit the best setting on all data."""
+        X = np.asarray(X)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        rng = np.random.default_rng(self.random_state)
+        folds = k_fold_indices(y.shape[0], self.cv, rng=rng)
+
+        self.results_ = []
+        best_score = np.inf
+        best_params: dict | None = None
+        for params in self._grid_points():
+            scores = []
+            for train_idx, test_idx in folds:
+                model = self.estimator_factory(**params)
+                model.fit(X[train_idx], y[train_idx])
+                pred = model.predict(X[test_idx])
+                scores.append(self.scorer(y[test_idx], pred))
+            mean_score = float(np.mean(scores))
+            self.results_.append({"params": params, "score": mean_score})
+            if mean_score < best_score:
+                best_score = mean_score
+                best_params = params
+
+        self.best_params_ = best_params
+        self.best_score_ = best_score
+        self.best_estimator_ = self.estimator_factory(**best_params)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict with the refit best estimator."""
+        if self.best_estimator_ is None:
+            raise InvalidParameterError("GridSearchCV used before fit()")
+        return self.best_estimator_.predict(X)

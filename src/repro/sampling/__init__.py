@@ -1,0 +1,33 @@
+"""Sampling substrate.
+
+DBEst relies solely on reservoir sampling to build uniform samples for
+model training (paper §3 "Sampling"); the baseline engines additionally
+use stratified sampling (BlinkDB-like) and hash/universe sampling on join
+keys (VerdictDB-like).
+"""
+
+from repro.sampling.hashed import hash_sample_mask, hash_sample_table
+from repro.sampling.reservoir import (
+    reservoir_sample_indices,
+    reservoir_sample_stream,
+    reservoir_sample_table,
+)
+from repro.sampling.stratified import stratified_sample_indices, stratified_sample_table
+from repro.sampling.uniform import (
+    bernoulli_sample_indices,
+    uniform_sample_indices,
+    uniform_sample_table,
+)
+
+__all__ = [
+    "bernoulli_sample_indices",
+    "hash_sample_mask",
+    "hash_sample_table",
+    "reservoir_sample_indices",
+    "reservoir_sample_stream",
+    "reservoir_sample_table",
+    "stratified_sample_indices",
+    "stratified_sample_table",
+    "uniform_sample_indices",
+    "uniform_sample_table",
+]

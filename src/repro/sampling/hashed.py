@@ -1,0 +1,72 @@
+"""Hash (universe) sampling on join keys (VerdictDB-style).
+
+Universe sampling hashes the join-key value and keeps a row iff the hash
+falls below a threshold.  Because the decision depends only on the key,
+sampling both join sides with the *same* hash and threshold preserves the
+join: matching keys are either kept on both sides or dropped on both.
+This is how sample-based AQP engines make sampled joins meaningful, and
+how DBEst's second join strategy (paper §2.2) pre-joins large tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.storage.table import Table
+
+# splitmix64 constants — a cheap, well-mixed integer hash.
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def _splitmix64(values: np.ndarray, seed: int) -> np.ndarray:
+    """Vectorised splitmix64 of integer key values."""
+    with np.errstate(over="ignore"):
+        z = values.astype(np.uint64) + np.uint64(seed) * _GAMMA
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        return z ^ (z >> np.uint64(31))
+
+
+def hash_sample_mask(
+    keys: np.ndarray,
+    fraction: float,
+    seed: int = 17,
+) -> np.ndarray:
+    """Boolean mask keeping rows whose hashed key falls in ``[0, fraction)``.
+
+    Every row sharing a key value receives the same decision, so applying
+    the same (fraction, seed) to both sides of a join yields an unbiased
+    universe sample of the join with inclusion probability ``fraction``.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise InvalidParameterError(
+            f"sampling fraction must be in (0, 1], got {fraction}"
+        )
+    keys = np.asarray(keys)
+    if keys.dtype.kind == "f":
+        # Hash the bit pattern so equal floats hash equally.
+        keys = keys.view(np.uint64) if keys.dtype == np.float64 else (
+            keys.astype(np.float64).view(np.uint64)
+        )
+    elif keys.dtype.kind == "U":
+        keys = np.asarray([hash(v) & 0xFFFFFFFFFFFFFFFF for v in keys.tolist()],
+                          dtype=np.uint64)
+    hashed = _splitmix64(keys.astype(np.uint64, copy=False), seed)
+    if fraction >= 1.0:
+        return np.ones(hashed.shape[0], dtype=bool)
+    threshold = np.uint64(min(int(fraction * float(2**64 - 1)), 2**64 - 2))
+    return hashed <= threshold
+
+
+def hash_sample_table(
+    table: Table,
+    key_column: str,
+    fraction: float,
+    seed: int = 17,
+) -> Table:
+    """Universe sample of a table on its join-key column."""
+    mask = hash_sample_mask(table[key_column], fraction, seed=seed)
+    return table.filter(mask, name=f"{table.name}_hashed")

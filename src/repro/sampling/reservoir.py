@@ -1,0 +1,96 @@
+"""Reservoir sampling (Vitter's Algorithm R and Li's Algorithm L).
+
+The paper states DBEst "relies solely on reservoir sampling to generate
+uniform samples over the original table".  Algorithm R is the classic
+one-pass reservoir; Algorithm L skips ahead geometrically and touches only
+O(k log(n/k)) stream items, which is what makes single-pass sampling of
+very large tables cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.storage.table import Table
+
+
+def _check_k(k: int) -> None:
+    if k <= 0:
+        raise InvalidParameterError(f"sample size must be positive, got {k}")
+
+
+def reservoir_sample_stream(
+    stream: Iterable,
+    k: int,
+    rng: np.random.Generator | None = None,
+) -> list:
+    """Uniformly sample ``k`` items from an iterable of unknown length.
+
+    Implements Algorithm L: after filling the reservoir, draw a geometric
+    skip and replace a random slot, so runtime is dominated by the number
+    of replacements, not the stream length.  Returns fewer than ``k``
+    items when the stream is shorter than ``k``.
+    """
+    _check_k(k)
+    rng = rng or np.random.default_rng()
+    iterator: Iterator = iter(stream)
+
+    reservoir: list = []
+    for item in iterator:
+        reservoir.append(item)
+        if len(reservoir) == k:
+            break
+    if len(reservoir) < k:
+        return reservoir
+
+    # w tracks the k-th largest of n uniform draws, updated multiplicatively.
+    w = math.exp(math.log(rng.random()) / k)
+    position = k
+    skip = math.floor(math.log(rng.random()) / math.log1p(-w))
+    target = position + skip + 1
+    for item in iterator:
+        position += 1
+        if position == target:
+            reservoir[rng.integers(0, k)] = item
+            w *= math.exp(math.log(rng.random()) / k)
+            skip = math.floor(math.log(rng.random()) / math.log1p(-w))
+            target = position + skip + 1
+    return reservoir
+
+
+def reservoir_sample_indices(
+    n: int,
+    k: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Uniform sample of ``min(k, n)`` row indices from ``range(n)``.
+
+    When the population size is known (our in-memory tables), a uniform
+    sample of indices is statistically identical to a reservoir pass; we
+    use the generator's ``choice`` without replacement, which is both exact
+    and fast.  Indices come back sorted so downstream gathers are cache
+    friendly.
+    """
+    _check_k(k)
+    if n < 0:
+        raise InvalidParameterError(f"population size must be >= 0, got {n}")
+    rng = rng or np.random.default_rng()
+    if k >= n:
+        return np.arange(n, dtype=np.intp)
+    indices = rng.choice(n, size=k, replace=False)
+    indices.sort()
+    return indices.astype(np.intp, copy=False)
+
+
+def reservoir_sample_table(
+    table: Table,
+    k: int,
+    rng: np.random.Generator | None = None,
+) -> Table:
+    """Uniform row sample of a table, via :func:`reservoir_sample_indices`."""
+    indices = reservoir_sample_indices(table.n_rows, k, rng=rng)
+    return table.take(indices, name=f"{table.name}_sample")

@@ -1,0 +1,65 @@
+"""Stratified sampling (BlinkDB-style).
+
+A stratified sample caps the number of rows kept per stratum (distinct
+value of a grouping column), guaranteeing rare groups are represented.
+DBEst itself uses plain reservoir samples (paper §3), but the BlinkDB
+baseline engine is built on this module, and an ablation bench compares
+the two strategies for group-by model training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.storage.table import Table
+
+
+def stratified_sample_indices(
+    strata: np.ndarray,
+    cap_per_stratum: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample at most ``cap_per_stratum`` row indices from each stratum.
+
+    ``strata`` is the grouping column; each distinct value forms one
+    stratum.  Returns sorted row indices.
+    """
+    if cap_per_stratum <= 0:
+        raise InvalidParameterError(
+            f"cap_per_stratum must be positive, got {cap_per_stratum}"
+        )
+    rng = rng or np.random.default_rng()
+    strata = np.asarray(strata)
+    order = np.argsort(strata, kind="stable")
+    sorted_strata = strata[order]
+    boundaries = np.flatnonzero(sorted_strata[1:] != sorted_strata[:-1]) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [strata.shape[0]]])
+
+    picked: list[np.ndarray] = []
+    for start, end in zip(starts, ends):
+        group_rows = order[start:end]
+        if group_rows.shape[0] <= cap_per_stratum:
+            picked.append(group_rows)
+        else:
+            chosen = rng.choice(group_rows, size=cap_per_stratum, replace=False)
+            picked.append(chosen)
+    if not picked:
+        return np.empty(0, dtype=np.intp)
+    indices = np.concatenate(picked)
+    indices.sort()
+    return indices.astype(np.intp, copy=False)
+
+
+def stratified_sample_table(
+    table: Table,
+    stratify_on: str,
+    cap_per_stratum: int,
+    rng: np.random.Generator | None = None,
+) -> Table:
+    """Stratified row sample of a table on the given column."""
+    indices = stratified_sample_indices(
+        table[stratify_on], cap_per_stratum, rng=rng
+    )
+    return table.take(indices, name=f"{table.name}_stratified")

@@ -1,0 +1,49 @@
+"""Uniform and Bernoulli sampling helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.storage.table import Table
+
+
+def uniform_sample_indices(
+    n: int,
+    k: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Simple random sample (without replacement) of ``min(k, n)`` indices."""
+    if k <= 0:
+        raise InvalidParameterError(f"sample size must be positive, got {k}")
+    rng = rng or np.random.default_rng()
+    if k >= n:
+        return np.arange(n, dtype=np.intp)
+    indices = rng.choice(n, size=k, replace=False)
+    indices.sort()
+    return indices.astype(np.intp, copy=False)
+
+
+def uniform_sample_table(
+    table: Table,
+    k: int,
+    rng: np.random.Generator | None = None,
+) -> Table:
+    """Uniform row sample of a table."""
+    indices = uniform_sample_indices(table.n_rows, k, rng=rng)
+    return table.take(indices, name=f"{table.name}_sample")
+
+
+def bernoulli_sample_indices(
+    n: int,
+    fraction: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Independently include each of ``n`` rows with probability ``fraction``."""
+    if not 0.0 < fraction <= 1.0:
+        raise InvalidParameterError(
+            f"sampling fraction must be in (0, 1], got {fraction}"
+        )
+    rng = rng or np.random.default_rng()
+    mask = rng.random(n) < fraction
+    return np.flatnonzero(mask).astype(np.intp, copy=False)

@@ -1,0 +1,32 @@
+"""SQL front end for the supported analytical query class.
+
+Grammar (paper §2.2):
+
+.. code-block:: sql
+
+    SELECT [z,] AF(y) [, AF(y2) ...] FROM t [JOIN t2 ON a = b]
+    WHERE x BETWEEN lb AND ub [AND x2 BETWEEN lb2 AND ub2] [AND z = v]
+    [GROUP BY z];
+
+with AF in COUNT, SUM, AVG, VARIANCE, STDDEV, PERCENTILE(col, p).
+"""
+
+from repro.sql.ast import (
+    AggregateCall,
+    EqualityPredicate,
+    JoinClause,
+    Query,
+    RangePredicate,
+)
+from repro.sql.parser import parse_query
+from repro.sql.validator import validate_query
+
+__all__ = [
+    "AggregateCall",
+    "EqualityPredicate",
+    "JoinClause",
+    "Query",
+    "RangePredicate",
+    "parse_query",
+    "validate_query",
+]

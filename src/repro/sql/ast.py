@@ -1,0 +1,120 @@
+"""AST dataclasses for the supported query grammar."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SUPPORTED_AGGREGATES = frozenset(
+    {"COUNT", "SUM", "AVG", "VARIANCE", "STDDEV", "PERCENTILE"}
+)
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """One aggregate in the SELECT list.
+
+    ``column`` is None for ``COUNT(*)``; ``parameter`` carries the p of
+    ``PERCENTILE(x, p)`` and is None otherwise.
+    """
+
+    func: str
+    column: str | None
+    parameter: float | None = None
+
+    def __str__(self) -> str:
+        inner = self.column if self.column is not None else "*"
+        if self.parameter is not None:
+            return f"{self.func}({inner}, {self.parameter})"
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """``column BETWEEN low AND high`` (inclusive on both ends).
+
+    One-sided comparison predicates parse to half-open ranges with an
+    infinite bound; they render back as comparisons.
+    """
+
+    column: str
+    low: float
+    high: float
+
+    def __str__(self) -> str:
+        import math
+
+        if math.isinf(self.low) and not math.isinf(self.high):
+            return f"{self.column} <= {self.high}"
+        if math.isinf(self.high) and not math.isinf(self.low):
+            return f"{self.column} >= {self.low}"
+        return f"{self.column} BETWEEN {self.low} AND {self.high}"
+
+
+def merged_ranges(ranges: list["RangePredicate"]) -> dict[str, tuple[float, float]]:
+    """Intersect all range predicates per column.
+
+    ``x >= 10 AND x <= 20`` yields ``{"x": (10, 20)}``; contradictory
+    constraints produce an empty interval (low > high), which evaluators
+    treat as selecting nothing.
+    """
+    merged: dict[str, tuple[float, float]] = {}
+    for predicate in ranges:
+        low, high = merged.get(
+            predicate.column, (float("-inf"), float("inf"))
+        )
+        merged[predicate.column] = (
+            max(low, predicate.low),
+            min(high, predicate.high),
+        )
+    return merged
+
+
+@dataclass(frozen=True)
+class EqualityPredicate:
+    """``column = value`` — used for nominal/categorical selections."""
+
+    column: str
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"{self.column} = '{self.value}'"
+        return f"{self.column} = {self.value}"
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``JOIN table ON left_key = right_key`` (inner equi-join)."""
+
+    table: str
+    left_key: str
+    right_key: str
+
+    def __str__(self) -> str:
+        return f"JOIN {self.table} ON {self.left_key} = {self.right_key}"
+
+
+@dataclass
+class Query:
+    """A parsed analytical query."""
+
+    aggregates: list[AggregateCall]
+    table: str
+    joins: list[JoinClause] = field(default_factory=list)
+    ranges: list[RangePredicate] = field(default_factory=list)
+    equalities: list[EqualityPredicate] = field(default_factory=list)
+    group_by: str | None = None
+    select_columns: list[str] = field(default_factory=list)
+
+    def to_sql(self) -> str:
+        """Render back to SQL text (used in tests for round-tripping)."""
+        select_parts = list(self.select_columns) + [str(a) for a in self.aggregates]
+        sql = f"SELECT {', '.join(select_parts)} FROM {self.table}"
+        for join in self.joins:
+            sql += f" {join}"
+        predicates = [str(r) for r in self.ranges] + [str(e) for e in self.equalities]
+        if predicates:
+            sql += " WHERE " + " AND ".join(predicates)
+        if self.group_by:
+            sql += f" GROUP BY {self.group_by}"
+        return sql + ";"

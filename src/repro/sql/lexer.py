@@ -1,0 +1,114 @@
+"""Tokenizer for the supported SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "BETWEEN",
+        "GROUP",
+        "BY",
+        "JOIN",
+        "ON",
+        "AS",
+    }
+)
+
+_SYMBOLS = {"(", ")", ",", "=", ";", "*", ".", "<", ">"}
+_TWO_CHAR_SYMBOLS = {"<=", ">="}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token: kind is KEYWORD, IDENT, NUMBER, STRING, or SYMBOL."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convert query text into tokens; raises :class:`SQLSyntaxError`."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # Numbers are detected before symbols so leading-dot literals
+        # (".5") and signed literals ("-3") lex as one NUMBER token.
+        starts_number = ch.isdigit() or (
+            ch in "+-." and i + 1 < n and (text[i + 1].isdigit() or text[i + 1] == ".")
+        )
+        if text[i : i + 2] in _TWO_CHAR_SYMBOLS:
+            tokens.append(Token("SYMBOL", text[i : i + 2], i))
+            i += 2
+            continue
+        if ch in _SYMBOLS and not starts_number:
+            tokens.append(Token("SYMBOL", ch, i))
+            i += 1
+            continue
+        if ch == "'" or ch == '"':
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 1
+            if j >= n:
+                raise SQLSyntaxError("unterminated string literal", position=i)
+            tokens.append(Token("STRING", text[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch in "+-." and i + 1 < n and (text[i + 1].isdigit() or text[i + 1] == ".")
+        ):
+            j = i + 1 if ch in "+-" else i
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > start:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            literal = text[start:j]
+            try:
+                float(literal)
+            except ValueError:
+                raise SQLSyntaxError(
+                    f"malformed number {literal!r}", position=start
+                ) from None
+            tokens.append(Token("NUMBER", literal, start))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", position=i)
+    return tokens

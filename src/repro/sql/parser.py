@@ -1,0 +1,223 @@
+"""Recursive-descent parser for the supported query grammar.
+
+Qualified names (``t.col``) are accepted and collapsed to their final
+component: every column name in this repository's schemas is unique across
+the joined tables (TPC-DS style ``ss_``/``s_`` prefixes), so the qualifier
+carries no information.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast import (
+    SUPPORTED_AGGREGATES,
+    AggregateCall,
+    EqualityPredicate,
+    JoinClause,
+    Query,
+    RangePredicate,
+)
+from repro.sql.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of query")
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._advance()
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = value or kind
+            raise SQLSyntaxError(
+                f"expected {expected}, got {token.value!r}", position=token.position
+            )
+        return token
+
+    def _match(self, kind: str, value: str | None = None) -> bool:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return False
+        if value is not None and token.value != value:
+            return False
+        self.index += 1
+        return True
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect("KEYWORD", "SELECT")
+        select_columns, aggregates = self._select_list()
+        self._expect("KEYWORD", "FROM")
+        table = self._name()
+        joins = []
+        while self._match("KEYWORD", "JOIN"):
+            joins.append(self._join_tail())
+        ranges: list[RangePredicate] = []
+        equalities: list[EqualityPredicate] = []
+        if self._match("KEYWORD", "WHERE"):
+            self._predicate(ranges, equalities)
+            while self._match("KEYWORD", "AND"):
+                self._predicate(ranges, equalities)
+        group_by = None
+        if self._match("KEYWORD", "GROUP"):
+            self._expect("KEYWORD", "BY")
+            group_by = self._name()
+        self._match("SYMBOL", ";")
+        trailing = self._peek()
+        if trailing is not None:
+            raise SQLSyntaxError(
+                f"unexpected trailing input {trailing.value!r}",
+                position=trailing.position,
+            )
+        if not aggregates:
+            raise SQLSyntaxError("query must contain at least one aggregate")
+        return Query(
+            aggregates=aggregates,
+            table=table,
+            joins=joins,
+            ranges=ranges,
+            equalities=equalities,
+            group_by=group_by,
+            select_columns=select_columns,
+        )
+
+    def _select_list(self) -> tuple[list[str], list[AggregateCall]]:
+        columns: list[str] = []
+        aggregates: list[AggregateCall] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise SQLSyntaxError("unexpected end of select list")
+            if token.kind == "IDENT" and token.value.upper() in SUPPORTED_AGGREGATES:
+                aggregates.append(self._aggregate())
+            elif token.kind == "IDENT":
+                columns.append(self._name())
+            else:
+                raise SQLSyntaxError(
+                    f"unexpected token {token.value!r} in select list",
+                    position=token.position,
+                )
+            if not self._match("SYMBOL", ","):
+                break
+        return columns, aggregates
+
+    def _aggregate(self) -> AggregateCall:
+        name = self._advance()
+        func = name.value.upper()
+        self._expect("SYMBOL", "(")
+        if self._match("SYMBOL", "*"):
+            column = None
+        else:
+            column = self._name()
+        parameter = None
+        if self._match("SYMBOL", ","):
+            number = self._expect("NUMBER")
+            parameter = float(number.value)
+        self._expect("SYMBOL", ")")
+        if func == "PERCENTILE" and parameter is None:
+            raise SQLSyntaxError(
+                "PERCENTILE requires a percentile argument: PERCENTILE(col, p)",
+                position=name.position,
+            )
+        if func != "PERCENTILE" and parameter is not None:
+            raise SQLSyntaxError(
+                f"{func} takes a single column argument", position=name.position
+            )
+        if func != "COUNT" and column is None:
+            raise SQLSyntaxError(
+                f"{func}(*) is not valid; only COUNT accepts *",
+                position=name.position,
+            )
+        return AggregateCall(func=func, column=column, parameter=parameter)
+
+    def _join_tail(self) -> JoinClause:
+        table = self._name()
+        self._expect("KEYWORD", "ON")
+        left = self._name()
+        self._expect("SYMBOL", "=")
+        right = self._name()
+        return JoinClause(table=table, left_key=left, right_key=right)
+
+    def _predicate(
+        self,
+        ranges: list[RangePredicate],
+        equalities: list[EqualityPredicate],
+    ) -> None:
+        column = self._name()
+        if self._match("KEYWORD", "BETWEEN"):
+            low = float(self._expect("NUMBER").value)
+            self._expect("KEYWORD", "AND")
+            high = float(self._expect("NUMBER").value)
+            if high < low:
+                raise SQLSyntaxError(
+                    f"BETWEEN bounds reversed for {column!r}: {low} > {high}"
+                )
+            ranges.append(RangePredicate(column=column, low=low, high=high))
+            return
+        operator = self._peek()
+        if operator is not None and operator.kind == "SYMBOL" and (
+            operator.value in ("<", "<=", ">", ">=")
+        ):
+            # One-sided comparisons become half-open ranges.  Strict and
+            # inclusive comparisons coincide over the continuous domains
+            # DBEst models (a single point carries zero density mass).
+            self._advance()
+            bound = float(self._expect("NUMBER").value)
+            if operator.value in ("<", "<="):
+                ranges.append(
+                    RangePredicate(column=column, low=float("-inf"), high=bound)
+                )
+            else:
+                ranges.append(
+                    RangePredicate(column=column, low=bound, high=float("inf"))
+                )
+            return
+        self._expect("SYMBOL", "=")
+        token = self._advance()
+        if token.kind == "NUMBER":
+            literal = float(token.value)
+            value: object = int(literal) if literal.is_integer() else literal
+        elif token.kind == "STRING":
+            value = token.value
+        elif token.kind == "IDENT":
+            value = token.value
+        else:
+            raise SQLSyntaxError(
+                f"expected a literal after =, got {token.value!r}",
+                position=token.position,
+            )
+        equalities.append(EqualityPredicate(column=column, value=value))
+
+    def _name(self) -> str:
+        """Parse a possibly qualified identifier; return the last component."""
+        token = self._expect("IDENT")
+        name = token.value
+        while self._match("SYMBOL", "."):
+            name = self._expect("IDENT").value
+        return name
+
+
+def parse_query(sql: str) -> Query:
+    """Parse query text into a :class:`~repro.sql.ast.Query`.
+
+    Raises :class:`~repro.errors.SQLSyntaxError` on malformed input.
+    """
+    tokens = tokenize(sql)
+    if not tokens:
+        raise SQLSyntaxError("empty query")
+    return _Parser(tokens).parse()

@@ -1,0 +1,81 @@
+"""Semantic validation of parsed queries.
+
+The parser accepts anything grammatical; this module enforces the
+engine-level rules (which aggregates exist, PERCENTILE's restrictions,
+group-by consistency) and, when a table registry is supplied, resolves
+column references against actual schemas.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import UnknownColumnError, UnknownTableError, UnsupportedQueryError
+from repro.sql.ast import SUPPORTED_AGGREGATES, Query
+from repro.storage.table import Table
+
+
+def validate_query(
+    query: Query,
+    tables: Mapping[str, Table] | None = None,
+) -> None:
+    """Raise on semantic errors; returns None when the query is acceptable."""
+    for agg in query.aggregates:
+        if agg.func not in SUPPORTED_AGGREGATES:
+            raise UnsupportedQueryError(f"unsupported aggregate {agg.func!r}")
+        if agg.func == "PERCENTILE":
+            if agg.parameter is None or not 0.0 < agg.parameter < 1.0:
+                raise UnsupportedQueryError(
+                    "PERCENTILE requires a p in (0, 1), "
+                    f"got {agg.parameter!r}"
+                )
+            if query.group_by is not None:
+                raise UnsupportedQueryError(
+                    "PERCENTILE with GROUP BY is not supported"
+                )
+        if agg.func != "COUNT" and agg.column is None:
+            raise UnsupportedQueryError(f"{agg.func} requires a column argument")
+
+    if query.select_columns:
+        if query.group_by is None:
+            raise UnsupportedQueryError(
+                "bare columns in SELECT are only allowed with GROUP BY"
+            )
+        stray = [c for c in query.select_columns if c != query.group_by]
+        if stray:
+            raise UnsupportedQueryError(
+                f"selected columns {stray} are not the GROUP BY column"
+            )
+
+    if query.group_by is not None and any(
+        r.column == query.group_by for r in query.ranges
+    ):
+        raise UnsupportedQueryError(
+            "a column cannot be both the GROUP BY attribute and a range predicate"
+        )
+
+    if tables is None:
+        return
+
+    if query.table not in tables:
+        raise UnknownTableError(query.table)
+    available = set(tables[query.table].column_names)
+    for join in query.joins:
+        if join.table not in tables:
+            raise UnknownTableError(join.table)
+        available |= set(tables[join.table].column_names)
+
+    def check(column: str | None) -> None:
+        if column is not None and column not in available:
+            raise UnknownColumnError(query.table, column)
+
+    for agg in query.aggregates:
+        check(agg.column)
+    for rng in query.ranges:
+        check(rng.column)
+    for eq in query.equalities:
+        check(eq.column)
+    check(query.group_by)
+    for join in query.joins:
+        check(join.left_key)
+        check(join.right_key)

@@ -1,0 +1,29 @@
+"""In-memory columnar storage layer.
+
+DBEst is storage-agnostic (paper §2.1); this package provides the minimal
+columnar substrate the engine and the baseline AQP engines run on: a
+:class:`Table` of named numpy columns, schema descriptions, predicate
+evaluation, hash joins, and CSV import/export.
+"""
+
+from repro.storage.csvio import read_csv, write_csv
+from repro.storage.join import hash_join
+from repro.storage.predicates import (
+    equality_mask,
+    evaluate_predicates,
+    range_mask,
+)
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.table import Table
+
+__all__ = [
+    "ColumnSchema",
+    "Table",
+    "TableSchema",
+    "equality_mask",
+    "evaluate_predicates",
+    "hash_join",
+    "range_mask",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,68 @@
+"""CSV import/export for columnar tables.
+
+DBEst's architecture note (paper §2.1) says the storage layer can be "just
+a local FS" holding csv files; this module provides that path.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.table import Table
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to ``path`` with a header row."""
+    path = Path(path)
+    names = table.column_names
+    arrays = [table[c] for c in names]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in zip(*(a.tolist() for a in arrays)):
+            writer.writerow(row)
+
+
+def read_csv(path: str | Path, name: str = "") -> Table:
+    """Read a CSV with a header row into a table.
+
+    Column dtypes are inferred: integer if every value parses as int,
+    else float if every value parses as float, else unicode string.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError(f"{path} is empty") from None
+        raw_columns: list[list[str]] = [[] for _ in header]
+        for row in reader:
+            if len(row) != len(header):
+                raise StorageError(
+                    f"{path}: row has {len(row)} fields, expected {len(header)}"
+                )
+            for cell, bucket in zip(row, raw_columns):
+                bucket.append(cell)
+
+    columns: dict[str, np.ndarray] = {}
+    for cname, raw in zip(header, raw_columns):
+        columns[cname] = _infer_array(raw)
+    return Table(columns, name=name or path.stem)
+
+
+def _infer_array(values: list[str]) -> np.ndarray:
+    """Convert string cells to the narrowest of int64 / float64 / str."""
+    try:
+        return np.asarray([int(v) for v in values], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.asarray([float(v) for v in values], dtype=np.float64)
+    except ValueError:
+        pass
+    return np.asarray(values, dtype=str)

@@ -1,0 +1,78 @@
+"""Hash join over columnar tables.
+
+DBEst precomputes join results before sampling and model building (paper
+§2.2); the baseline engines join samples at query time.  Both paths use
+this single equi-join implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchemaMismatchError
+from repro.storage.table import Table
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_key: str,
+    right_key: str,
+    name: str = "",
+    suffix: str = "_r",
+) -> Table:
+    """Inner equi-join of ``left`` and ``right`` on the given key columns.
+
+    The output contains every column of ``left`` followed by every column
+    of ``right`` except its key (the key values are equal by definition).
+    Right-side columns whose names collide with a left-side column are
+    renamed with ``suffix``.
+
+    The implementation builds a hash index over the smaller input and
+    probes with the larger one, then materialises matching row-index pairs
+    and gathers columns — the standard textbook hash join, vectorised with
+    numpy for the gather phase.
+    """
+    left_values = left[left_key]
+    right_values = right[right_key]
+    if left_values.dtype.kind not in ("i", "u", "f", "U") or (
+        right_values.dtype.kind not in ("i", "u", "f", "U")
+    ):
+        raise SchemaMismatchError("join keys must be numeric or string columns")
+
+    # Build on the smaller side, probe with the larger.
+    if left.n_rows <= right.n_rows:
+        build_values, probe_values = left_values, right_values
+        build_is_left = True
+    else:
+        build_values, probe_values = right_values, left_values
+        build_is_left = False
+
+    index: dict[object, list[int]] = {}
+    for row, key in enumerate(build_values.tolist()):
+        index.setdefault(key, []).append(row)
+
+    build_rows: list[int] = []
+    probe_rows: list[int] = []
+    for row, key in enumerate(probe_values.tolist()):
+        matches = index.get(key)
+        if matches:
+            build_rows.extend(matches)
+            probe_rows.extend([row] * len(matches))
+
+    build_idx = np.asarray(build_rows, dtype=np.intp)
+    probe_idx = np.asarray(probe_rows, dtype=np.intp)
+    left_idx = build_idx if build_is_left else probe_idx
+    right_idx = probe_idx if build_is_left else build_idx
+
+    columns: dict[str, np.ndarray] = {}
+    for cname in left.column_names:
+        columns[cname] = left[cname][left_idx]
+    for cname in right.column_names:
+        if cname == right_key:
+            continue
+        out_name = cname if cname not in columns else cname + suffix
+        columns[out_name] = right[cname][right_idx]
+
+    join_name = name or f"{left.name}_join_{right.name}"
+    return Table(columns, name=join_name)

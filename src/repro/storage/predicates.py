@@ -1,0 +1,50 @@
+"""Predicate evaluation over columnar tables.
+
+These helpers turn the predicate forms DBEst supports (range predicates
+``x BETWEEN lb AND ub`` and equality predicates ``z = v``) into boolean
+masks over a :class:`~repro.storage.table.Table`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.storage.table import Table
+
+
+def range_mask(
+    table: Table, column: str, low: float, high: float
+) -> np.ndarray:
+    """Boolean mask for ``low <= column <= high`` (BETWEEN is inclusive)."""
+    if high < low:
+        raise InvalidParameterError(
+            f"range predicate on {column!r} has high < low ({high} < {low})"
+        )
+    values = table[column]
+    return (values >= low) & (values <= high)
+
+
+def equality_mask(table: Table, column: str, value: object) -> np.ndarray:
+    """Boolean mask for ``column == value``."""
+    return table[column] == value
+
+
+def evaluate_predicates(
+    table: Table,
+    ranges: Iterable[tuple[str, float, float]] = (),
+    equalities: Iterable[tuple[str, object]] = (),
+) -> np.ndarray:
+    """Conjunction of all given range and equality predicates.
+
+    Returns an all-True mask when no predicates are supplied, matching SQL
+    semantics of a missing WHERE clause.
+    """
+    mask = np.ones(table.n_rows, dtype=bool)
+    for column, low, high in ranges:
+        mask &= range_mask(table, column, low, high)
+    for column, value in equalities:
+        mask &= equality_mask(table, column, value)
+    return mask

@@ -1,0 +1,74 @@
+"""Schema descriptions for columnar tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchemaMismatchError
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Describes one column: its name, numpy dtype kind, and role.
+
+    ``kind`` follows numpy's dtype kinds: ``"f"`` float, ``"i"`` integer,
+    ``"U"`` unicode string.  ``role`` is advisory metadata used by the
+    workload generators and the engine ("measure", "dimension", "key").
+    """
+
+    name: str
+    kind: str = "f"
+    role: str = "measure"
+
+    def matches(self, array: np.ndarray) -> bool:
+        """Return True if ``array`` has a dtype compatible with this column."""
+        if self.kind == "f":
+            return array.dtype.kind in ("f", "i", "u")
+        if self.kind == "i":
+            return array.dtype.kind in ("i", "u")
+        return array.dtype.kind == self.kind
+
+
+@dataclass
+class TableSchema:
+    """Ordered collection of :class:`ColumnSchema` objects."""
+
+    name: str
+    columns: list[ColumnSchema] = field(default_factory=list)
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> ColumnSchema:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaMismatchError(f"schema {self.name!r} has no column {name!r}")
+
+    def validate(self, columns: dict[str, np.ndarray]) -> None:
+        """Raise :class:`SchemaMismatchError` unless ``columns`` fits this schema."""
+        expected = self.column_names()
+        got = list(columns)
+        if sorted(expected) != sorted(got):
+            raise SchemaMismatchError(
+                f"schema {self.name!r} expects columns {expected}, got {got}"
+            )
+        for col in self.columns:
+            if not col.matches(columns[col.name]):
+                raise SchemaMismatchError(
+                    f"column {col.name!r} expects kind {col.kind!r}, "
+                    f"got dtype {columns[col.name].dtype}"
+                )
+
+    @classmethod
+    def infer(cls, name: str, columns: dict[str, np.ndarray]) -> "TableSchema":
+        """Build a schema by inspecting the dtypes of ``columns``."""
+        cols = []
+        for cname, array in columns.items():
+            kind = array.dtype.kind
+            if kind in ("u",):
+                kind = "i"
+            cols.append(ColumnSchema(name=cname, kind=kind))
+        return cls(name=name, columns=cols)

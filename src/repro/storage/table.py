@@ -1,0 +1,188 @@
+"""The in-memory columnar table.
+
+A :class:`Table` is a named, immutable-by-convention mapping of column
+names to equal-length one-dimensional numpy arrays.  All engines in this
+repository (DBEst itself plus the exact/uniform/stratified baselines)
+operate on tables; the workload generators produce them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, SchemaMismatchError, UnknownColumnError
+from repro.storage.schema import TableSchema
+
+
+class Table:
+    """A named collection of equal-length numpy columns.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to 1-D array.  Arrays are converted with
+        ``np.asarray`` and must all share the same length.
+    name:
+        Table name, used in error messages and by engine catalogs.
+    schema:
+        Optional explicit schema; inferred from dtypes when omitted.
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, np.ndarray | Iterable],
+        name: str = "",
+        schema: TableSchema | None = None,
+    ) -> None:
+        converted: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for cname, values in columns.items():
+            array = np.asarray(values)
+            if array.ndim != 1:
+                raise SchemaMismatchError(
+                    f"column {cname!r} must be 1-D, got shape {array.shape}"
+                )
+            if length is None:
+                length = array.shape[0]
+            elif array.shape[0] != length:
+                raise SchemaMismatchError(
+                    f"column {cname!r} has length {array.shape[0]}, "
+                    f"expected {length}"
+                )
+            converted[cname] = array
+        self._columns = converted
+        self._n_rows = length or 0
+        self.name = name
+        if schema is not None:
+            schema.validate(self._columns)
+            self.schema = schema
+        else:
+            self.schema = TableSchema.infer(name, self._columns)
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self._n_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    def __getitem__(self, column: str) -> np.ndarray:
+        try:
+            return self._columns[column]
+        except KeyError:
+            raise UnknownColumnError(self.name, column) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def __repr__(self) -> str:
+        return (
+            f"Table(name={self.name!r}, n_rows={self._n_rows}, "
+            f"columns={self.column_names})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.column_names != other.column_names or len(self) != len(other):
+            return False
+        return all(
+            np.array_equal(self[c], other[c], equal_nan=True)
+            for c in self.column_names
+        )
+
+    # -- derivation --------------------------------------------------------
+
+    def select(self, columns: Iterable[str], name: str | None = None) -> "Table":
+        """Return a new table with only the given columns (projection)."""
+        cols = list(columns)
+        missing = [c for c in cols if c not in self._columns]
+        if missing:
+            raise UnknownColumnError(self.name, missing[0])
+        return Table(
+            {c: self._columns[c] for c in cols},
+            name=name if name is not None else self.name,
+        )
+
+    def filter(self, mask: np.ndarray, name: str | None = None) -> "Table":
+        """Return a new table with the rows selected by a boolean ``mask``."""
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_ or mask.shape != (self._n_rows,):
+            raise InvalidParameterError(
+                f"mask must be a boolean array of length {self._n_rows}"
+            )
+        return self.take(np.flatnonzero(mask), name=name)
+
+    def take(self, indices: np.ndarray, name: str | None = None) -> "Table":
+        """Return a new table with rows at ``indices`` (in order, repeats ok)."""
+        indices = np.asarray(indices)
+        return Table(
+            {c: a[indices] for c, a in self._columns.items()},
+            name=name if name is not None else self.name,
+        )
+
+    def head(self, n: int = 5) -> "Table":
+        """First ``n`` rows."""
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def with_column(self, column: str, values: np.ndarray) -> "Table":
+        """Return a new table that adds (or replaces) one column."""
+        merged = dict(self._columns)
+        merged[column] = np.asarray(values)
+        return Table(merged, name=self.name)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Return a new table with columns renamed per ``mapping``."""
+        return Table(
+            {mapping.get(c, c): a for c, a in self._columns.items()},
+            name=self.name,
+        )
+
+    def concat(self, other: "Table") -> "Table":
+        """Stack another table with identical columns underneath this one."""
+        if sorted(self.column_names) != sorted(other.column_names):
+            raise SchemaMismatchError(
+                f"cannot concat tables with columns {self.column_names} "
+                f"and {other.column_names}"
+            )
+        return Table(
+            {c: np.concatenate([self[c], other[c]]) for c in self.column_names},
+            name=self.name,
+        )
+
+    # -- summaries ---------------------------------------------------------
+
+    def column_range(self, column: str) -> tuple[float, float]:
+        """(min, max) of a column; raises on empty tables."""
+        values = self[column]
+        if values.size == 0:
+            raise InvalidParameterError(
+                f"cannot take range of empty column {column!r}"
+            )
+        return float(values.min()), float(values.max())
+
+    def distinct(self, column: str) -> np.ndarray:
+        """Sorted distinct values of a column."""
+        return np.unique(self[column])
+
+    def to_rows(self) -> list[tuple]:
+        """Materialise as a list of row tuples (small tables / tests only)."""
+        arrays = [self._columns[c] for c in self.column_names]
+        return list(zip(*(a.tolist() for a in arrays)))
+
+    def nbytes(self) -> int:
+        """Total memory held by the column arrays."""
+        return int(sum(a.nbytes for a in self._columns.values()))

@@ -1,0 +1,38 @@
+"""Workload generators for the paper's evaluation datasets.
+
+The paper evaluates on TPC-DS (scale factors 40–1000), the UCI Combined
+Cycle Power Plant dataset, the Beijing PM2.5 dataset, and a synthetic
+Zipf-join microbenchmark.  Neither the TPC-DS dbgen tool nor the UCI
+CSVs are available offline, so each generator synthesises data matching
+the published schemas, column ranges, and dependence structures (see
+DESIGN.md "Substitutions") at laptop scale.
+"""
+
+from repro.workloads.beijing import BEIJING_COLUMN_PAIRS, generate_beijing
+from repro.workloads.ccpp import CCPP_COLUMN_PAIRS, generate_ccpp
+from repro.workloads.queries import (
+    QueryWorkload,
+    generate_range_queries,
+    random_range,
+)
+from repro.workloads.tpcds import (
+    TPCDS_COLUMN_PAIRS,
+    generate_store,
+    generate_store_sales,
+)
+from repro.workloads.zipf import generate_zipf_join_tables, zipf_probabilities
+
+__all__ = [
+    "BEIJING_COLUMN_PAIRS",
+    "CCPP_COLUMN_PAIRS",
+    "QueryWorkload",
+    "TPCDS_COLUMN_PAIRS",
+    "generate_beijing",
+    "generate_ccpp",
+    "generate_range_queries",
+    "generate_store",
+    "generate_store_sales",
+    "generate_zipf_join_tables",
+    "random_range",
+    "zipf_probabilities",
+]

@@ -1,0 +1,88 @@
+"""Zipf-distributed join tables (paper Appendix C).
+
+The appendix stress-tests join accuracy with two tables ``A(x, y)`` and
+``B(z, y)`` whose join attribute ``y`` follows a Zipf distribution
+``p(k) = k^(-s) / ζ(s)`` with ``s = 2`` — plus a *non-skewed* region
+where keys are uniform — and shows that sample-then-join engines
+collapse on the skewed region while DBEst does not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import zeta
+
+from repro.errors import InvalidParameterError
+from repro.storage.table import Table
+
+
+def zipf_probabilities(n_keys: int, s: float = 2.0) -> np.ndarray:
+    """``p(k) = k^-s / ζ(s)`` over ranks 1..n_keys, renormalised to sum 1."""
+    if n_keys <= 0:
+        raise InvalidParameterError(f"n_keys must be positive, got {n_keys}")
+    if s < 1.0:
+        raise InvalidParameterError(f"Zipf parameter must be >= 1, got {s}")
+    ranks = np.arange(1, n_keys + 1, dtype=np.float64)
+    probabilities = ranks ** (-s) / zeta(s)
+    return probabilities / probabilities.sum()
+
+
+def generate_zipf_join_tables(
+    n_dim_rows: int = 1000,
+    n_fact_rows: int = 100_000,
+    n_skewed_keys: int = 50,
+    n_uniform_keys: int = 50,
+    s: float = 2.0,
+    seed: int | None = 41,
+) -> tuple[Table, Table]:
+    """Generate the (A, B) pair of Appendix C.
+
+    Join keys 1..``n_skewed_keys`` form the *skewed region* (Zipf with
+    parameter ``s``); keys ``n_skewed_keys+1`` .. ``+n_uniform_keys``
+    form the *non-skewed region* (uniform).  Table A is the small side
+    (one row per key plus measure x); table B is the large side with
+    measure z.
+    """
+    rng = np.random.default_rng(seed)
+    n_keys = n_skewed_keys + n_uniform_keys
+
+    # Dimension side: every key appears, with a per-key measure.
+    dim_keys = np.arange(1, n_keys + 1, dtype=np.int64)
+    dim_keys = np.repeat(dim_keys, max(1, n_dim_rows // n_keys))
+    table_a = Table(
+        {
+            "y": dim_keys,
+            "x": rng.normal(50.0, 10.0, size=dim_keys.shape[0]),
+        },
+        name="zipf_a",
+    )
+
+    # Fact side: half the rows from the skewed region, half uniform.
+    n_skewed_rows = n_fact_rows // 2
+    n_uniform_rows = n_fact_rows - n_skewed_rows
+    skewed = rng.choice(
+        np.arange(1, n_skewed_keys + 1),
+        size=n_skewed_rows,
+        p=zipf_probabilities(n_skewed_keys, s=s),
+    )
+    uniform = rng.integers(
+        n_skewed_keys + 1, n_keys + 1, size=n_uniform_rows
+    )
+    fact_keys = np.concatenate([skewed, uniform]).astype(np.int64)
+    rng.shuffle(fact_keys)
+    # Measure z depends mildly on the key so join errors show up in SUM/AVG.
+    z = 100.0 + 0.5 * fact_keys + rng.normal(0.0, 8.0, size=n_fact_rows)
+    table_b = Table({"y": fact_keys, "z": z}, name="zipf_b")
+    return table_a, table_b
+
+
+def skewed_key_range(n_skewed_keys: int = 50) -> tuple[int, int]:
+    """Key interval of the skewed region."""
+    return 1, n_skewed_keys
+
+
+def uniform_key_range(
+    n_skewed_keys: int = 50, n_uniform_keys: int = 50
+) -> tuple[int, int]:
+    """Key interval of the non-skewed region."""
+    return n_skewed_keys + 1, n_skewed_keys + n_uniform_keys

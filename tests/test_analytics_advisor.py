@@ -1,0 +1,232 @@
+"""Tests for model-powered analytics (paper §1 (i)-(v)) and the
+workload-driven model advisor (paper §3)."""
+
+import numpy as np
+import pytest
+
+from repro import DBEst, DBEstConfig, Table
+from repro.core import (
+    ColumnSetModel,
+    WorkloadAdvisor,
+    describe_subspace,
+    estimate_y,
+    impute_missing,
+    rank_relationships,
+    relationship_strength,
+    sketch_density,
+    what_if_aggregate,
+)
+from repro.core.advisor import template_of
+from repro.errors import InvalidParameterError, UnsupportedQueryError
+from repro.sql import parse_query
+
+
+@pytest.fixture
+def strong_model(rng):
+    """y = 3x + small noise: near-deterministic relationship."""
+    x = rng.uniform(0.0, 100.0, size=6000)
+    y = 3.0 * x + rng.normal(0.0, 0.5, size=6000)
+    return ColumnSetModel.train(
+        x, y, table_name="t", x_columns=("x",), y_column="y",
+        population_size=100_000,
+        config=DBEstConfig(regressor="plr", random_seed=7),
+    )
+
+
+@pytest.fixture
+def weak_model(rng):
+    """y independent of x: no relationship."""
+    x = rng.uniform(0.0, 100.0, size=6000)
+    y = rng.normal(50.0, 10.0, size=6000)
+    return ColumnSetModel.train(
+        x, y, table_name="t", x_columns=("x",), y_column="y",
+        population_size=100_000,
+        config=DBEstConfig(regressor="plr", random_seed=7),
+    )
+
+
+class TestImputation:
+    def test_fills_nans(self, rng, strong_model):
+        x = np.asarray([10.0, 50.0, 90.0])
+        y = np.asarray([30.0, np.nan, np.nan])
+        table = Table({"x": x, "y": y}, name="t")
+        filled = impute_missing(table, strong_model)
+        assert not np.isnan(filled["y"]).any()
+        assert filled["y"][0] == 30.0  # observed value untouched
+        assert filled["y"][1] == pytest.approx(150.0, rel=0.05)
+        assert filled["y"][2] == pytest.approx(270.0, rel=0.05)
+
+    def test_explicit_mask(self, strong_model):
+        table = Table({"x": np.asarray([20.0]), "y": np.asarray([1.0])}, name="t")
+        filled = impute_missing(table, strong_model, missing=np.asarray([True]))
+        assert filled["y"][0] == pytest.approx(60.0, rel=0.1)
+
+    def test_no_missing_returns_same_table(self, strong_model):
+        table = Table({"x": np.asarray([20.0]), "y": np.asarray([1.0])}, name="t")
+        assert impute_missing(table, strong_model) is table
+
+    def test_wrong_mask_shape(self, strong_model):
+        table = Table({"x": np.asarray([20.0]), "y": np.asarray([1.0])}, name="t")
+        with pytest.raises(InvalidParameterError):
+            impute_missing(table, strong_model, missing=np.asarray([True, False]))
+
+    def test_density_only_model_rejected(self, rng):
+        model = ColumnSetModel.train(
+            rng.uniform(size=100), None, table_name="t", x_columns=("x",),
+            y_column=None, population_size=100,
+        )
+        table = Table({"x": np.asarray([0.5])}, name="t")
+        with pytest.raises(UnsupportedQueryError):
+            impute_missing(table, model)
+
+
+class TestWhatIf:
+    def test_estimate_y(self, strong_model):
+        np.testing.assert_allclose(
+            estimate_y(strong_model, [10.0, 20.0]), [30.0, 60.0], rtol=0.05
+        )
+
+    def test_what_if_aggregate(self, strong_model):
+        value = what_if_aggregate(strong_model, "avg", 40.0, 60.0)
+        assert value == pytest.approx(150.0, rel=0.05)
+
+    def test_what_if_count(self, strong_model):
+        value = what_if_aggregate(strong_model, "COUNT", 0.0, 50.0)
+        assert value == pytest.approx(50_000, rel=0.1)
+
+
+class TestRelationships:
+    def test_strong_vs_weak(self, strong_model, weak_model):
+        strong = relationship_strength(strong_model)
+        weak = relationship_strength(weak_model)
+        assert strong > 0.9
+        assert weak < 0.2
+
+    def test_ranking(self, strong_model, weak_model):
+        ranked = rank_relationships({"strong": strong_model, "weak": weak_model})
+        assert [name for name, _ in ranked] == ["strong", "weak"]
+
+    def test_density_only_rejected(self, rng):
+        model = ColumnSetModel.train(
+            rng.uniform(size=100), None, table_name="t", x_columns=("x",),
+            y_column=None, population_size=100,
+        )
+        with pytest.raises(UnsupportedQueryError):
+            relationship_strength(model)
+
+
+class TestDescribe:
+    def test_statistics_consistent(self, strong_model):
+        stats = describe_subspace(strong_model, 20.0, 40.0)
+        assert stats["count"] == pytest.approx(20_000, rel=0.1)
+        assert stats["mean"] == pytest.approx(90.0, rel=0.05)
+        assert stats["sum"] == pytest.approx(stats["count"] * stats["mean"])
+        assert stats["stddev"] == pytest.approx(np.sqrt(stats["variance"]))
+        assert 0.0 <= stats["fraction_of_table"] <= 1.0
+
+    def test_sketch_density_shape(self, strong_model):
+        sketch = sketch_density(strong_model, n_bins=10, width=20)
+        lines = sketch.splitlines()
+        assert len(lines) == 10
+        assert all("|" in line for line in lines)
+        # Uniform density: every bar should be non-empty.
+        assert all(line.strip().endswith("#") for line in lines)
+
+
+class TestAdvisorTemplates:
+    def test_simple_query(self):
+        q = parse_query("SELECT AVG(y) FROM t WHERE x BETWEEN 1 AND 2;")
+        t = template_of(q)
+        assert t.table == "t"
+        assert t.x_columns == ("x",)
+        assert t.y_column == "y"
+        assert t.group_by is None
+
+    def test_group_by_query(self):
+        q = parse_query(
+            "SELECT g, SUM(y) FROM t WHERE x BETWEEN 1 AND 2 GROUP BY g;"
+        )
+        t = template_of(q)
+        assert t.group_by == "g"
+
+    def test_equality_maps_to_group(self):
+        q = parse_query("SELECT AVG(y) FROM t WHERE x BETWEEN 1 AND 2 AND g = 4;")
+        assert template_of(q).group_by == "g"
+
+    def test_join_query(self):
+        q = parse_query(
+            "SELECT AVG(m) FROM f JOIN d ON k1 = k2 WHERE a BETWEEN 1 AND 2;"
+        )
+        t = template_of(q)
+        assert t.join == ("d", "k1", "k2")
+
+    def test_percentile_without_where(self):
+        q = parse_query("SELECT PERCENTILE(x, 0.5) FROM t;")
+        t = template_of(q)
+        assert t.x_columns == ("x",)
+        assert t.y_column is None
+
+    def test_count_only_query_has_no_y(self):
+        q = parse_query("SELECT COUNT(y) FROM t WHERE x BETWEEN 1 AND 2;")
+        assert template_of(q).y_column == "y"
+
+    def test_describe(self):
+        q = parse_query("SELECT AVG(y) FROM t WHERE x BETWEEN 1 AND 2;")
+        text = template_of(q).describe()
+        assert "table=t" in text and "y=y" in text
+
+
+class TestAdvisor:
+    def test_frequency_ranking(self):
+        advisor = WorkloadAdvisor()
+        for _ in range(5):
+            advisor.observe("SELECT AVG(y) FROM t WHERE x BETWEEN 1 AND 2;")
+        advisor.observe("SELECT SUM(z) FROM t WHERE x BETWEEN 1 AND 2;")
+        recs = advisor.recommend()
+        assert recs[0].template.y_column == "y"
+        assert recs[0].frequency == 5
+        assert recs[0].coverage == pytest.approx(5 / 6)
+
+    def test_malformed_queries_counted_not_fatal(self):
+        advisor = WorkloadAdvisor()
+        advisor.observe("THIS IS NOT SQL")
+        advisor.observe("SELECT AVG(y) FROM t WHERE x BETWEEN 1 AND 2;")
+        assert advisor.n_unsupported == 1
+        assert len(advisor.recommend()) == 1
+
+    def test_min_frequency_filter(self):
+        advisor = WorkloadAdvisor()
+        advisor.observe("SELECT AVG(y) FROM t WHERE x BETWEEN 1 AND 2;")
+        advisor.observe("SELECT AVG(y) FROM t WHERE x BETWEEN 1 AND 2;")
+        advisor.observe("SELECT AVG(z) FROM t WHERE x BETWEEN 1 AND 2;")
+        assert len(advisor.recommend(min_frequency=2)) == 1
+
+    def test_max_models_cap(self):
+        advisor = WorkloadAdvisor()
+        for column in "abcde":
+            advisor.observe(
+                f"SELECT AVG({column}) FROM t WHERE x BETWEEN 1 AND 2;"
+            )
+        assert len(advisor.recommend(max_models=2)) == 2
+
+    def test_build_recommended_end_to_end(self, linear_table, fast_config):
+        engine = DBEst(config=fast_config)
+        engine.register_table(linear_table)
+        advisor = WorkloadAdvisor()
+        workload = [
+            "SELECT AVG(y) FROM linear WHERE x BETWEEN 10 AND 20;",
+            "SELECT SUM(y) FROM linear WHERE x BETWEEN 30 AND 50;",
+            "SELECT AVG(y) FROM linear WHERE x BETWEEN 0 AND 90;",
+        ]
+        advisor.observe_all(workload)
+        built = advisor.build_recommended(engine, sample_size=2000)
+        assert len(built) == 1  # one template covers all three queries
+        for sql in workload:
+            result = engine.execute(sql)
+            assert result.source == "model"
+
+    def test_build_skips_unregistered_tables(self, fast_config):
+        engine = DBEst(config=fast_config)
+        advisor = WorkloadAdvisor()
+        advisor.observe("SELECT AVG(y) FROM ghost WHERE x BETWEEN 1 AND 2;")
+        assert advisor.build_recommended(engine) == []

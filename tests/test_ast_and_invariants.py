@@ -1,0 +1,189 @@
+"""AST rendering, range merging, and additional model invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import KernelDensityEstimator
+from repro.sql import parse_query
+from repro.sql.ast import (
+    AggregateCall,
+    EqualityPredicate,
+    JoinClause,
+    Query,
+    RangePredicate,
+    merged_ranges,
+)
+
+_settings = settings(max_examples=25, deadline=None)
+
+
+class TestAstRendering:
+    def test_aggregate_str(self):
+        assert str(AggregateCall("SUM", "y")) == "SUM(y)"
+        assert str(AggregateCall("COUNT", None)) == "COUNT(*)"
+        assert str(AggregateCall("PERCENTILE", "x", 0.5)) == "PERCENTILE(x, 0.5)"
+
+    def test_equality_str_quotes_strings(self):
+        assert str(EqualityPredicate("city", "Beijing")) == "city = 'Beijing'"
+        assert str(EqualityPredicate("g", 3)) == "g = 3"
+
+    def test_join_str(self):
+        assert str(JoinClause("store", "a", "b")) == "JOIN store ON a = b"
+
+    def test_range_str_one_sided(self):
+        assert str(RangePredicate("x", float("-inf"), 5.0)) == "x <= 5.0"
+        assert str(RangePredicate("x", 5.0, float("inf"))) == "x >= 5.0"
+
+    def test_full_query_roundtrip_with_join_and_equality(self):
+        sql = (
+            "SELECT g, SUM(m) FROM f JOIN d ON k1 = k2 "
+            "WHERE a BETWEEN 1.0 AND 2.0 AND g = 'north' GROUP BY g;"
+        )
+        query = parse_query(sql)
+        again = parse_query(query.to_sql())
+        assert again.joins == query.joins
+        assert again.equalities == query.equalities
+        assert again.group_by == query.group_by
+
+    def test_query_to_sql_mentions_everything(self):
+        query = Query(
+            aggregates=[AggregateCall("AVG", "y")],
+            table="t",
+            joins=[JoinClause("d", "k", "k")],
+            ranges=[RangePredicate("x", 0.0, 1.0)],
+            equalities=[EqualityPredicate("g", 1)],
+            group_by="g",
+            select_columns=["g"],
+        )
+        sql = query.to_sql()
+        for fragment in ("AVG(y)", "JOIN d", "BETWEEN", "g = 1", "GROUP BY g"):
+            assert fragment in sql
+
+
+class TestMergedRanges:
+    def test_empty(self):
+        assert merged_ranges([]) == {}
+
+    def test_single(self):
+        merged = merged_ranges([RangePredicate("x", 1.0, 5.0)])
+        assert merged == {"x": (1.0, 5.0)}
+
+    def test_intersection(self):
+        merged = merged_ranges(
+            [RangePredicate("x", 1.0, 5.0), RangePredicate("x", 3.0, 9.0)]
+        )
+        assert merged == {"x": (3.0, 5.0)}
+
+    def test_multiple_columns_kept_apart(self):
+        merged = merged_ranges(
+            [RangePredicate("a", 0.0, 1.0), RangePredicate("b", 2.0, 3.0)]
+        )
+        assert set(merged) == {"a", "b"}
+
+    @_settings
+    @given(
+        bounds=st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(0, 50, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_merge_is_intersection(self, bounds):
+        predicates = [
+            RangePredicate("x", low, low + width) for low, width in bounds
+        ]
+        (low, high) = merged_ranges(predicates)["x"]
+        assert low == max(p.low for p in predicates)
+        assert high == min(p.high for p in predicates)
+
+    @_settings
+    @given(
+        low=st.floats(-1e3, 1e3, allow_nan=False),
+        width=st.floats(0, 1e3, allow_nan=False),
+    )
+    def test_merge_idempotent(self, low, width):
+        predicate = RangePredicate("x", low, low + width)
+        once = merged_ranges([predicate])
+        twice = merged_ranges([predicate, predicate])
+        assert once == twice
+
+
+class TestPointMassKDE:
+    @_settings
+    @given(
+        value=st.floats(-1e6, 1e6, allow_nan=False),
+        n=st.integers(1, 200),
+    )
+    def test_point_mass_integrals(self, value, n):
+        kde = KernelDensityEstimator().fit(np.full(n, value))
+        assert kde.integrate(value, value) == 1.0
+        assert kde.integrate(value - 1.0, value + 1.0) == 1.0
+        if abs(value) < 1e5:
+            assert kde.integrate(value + 1.0, value + 2.0) == 0.0
+            assert kde.integrate(value - 2.0, value - 1.0) == 0.0
+
+    def test_point_mass_cdf_step(self):
+        kde = KernelDensityEstimator().fit(np.full(10, 3.0))
+        np.testing.assert_array_equal(
+            kde.cdf(np.asarray([2.0, 3.0, 4.0])), [0.0, 1.0, 1.0]
+        )
+
+    def test_mixture_unaffected(self, rng):
+        """Non-degenerate data must not take the point-mass path."""
+        kde = KernelDensityEstimator().fit(rng.normal(size=1000))
+        value = float(kde.cdf(np.asarray([0.0]))[0])
+        assert 0.3 < value < 0.7  # a smooth CDF, not a step
+
+
+class TestReflectionInvariants:
+    @_settings
+    @given(
+        data=st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=10, max_size=200
+        )
+    )
+    def test_reflected_mass_conserved(self, data):
+        x = np.asarray(data)
+        if np.ptp(x) <= 1e-9:
+            return
+        kde = KernelDensityEstimator().fit(x)
+        lo, hi = kde.support
+        assert lo == pytest.approx(float(x.min()))
+        assert hi == pytest.approx(float(x.max()))
+        assert kde.integrate(lo, hi) == pytest.approx(1.0, abs=2e-2)
+
+    def test_no_mass_outside_domain(self, rng):
+        kde = KernelDensityEstimator().fit(rng.uniform(0.0, 1.0, size=2000))
+        assert kde.pdf(np.asarray([-0.5, 1.5])).sum() == 0.0
+        assert kde.cdf(np.asarray([-0.5]))[0] == pytest.approx(0.0, abs=1e-9)
+        assert kde.cdf(np.asarray([1.5]))[0] == pytest.approx(1.0, abs=1e-2)
+
+    def test_uniform_density_flat_to_the_edges(self, rng):
+        """Without reflection, density at the edges halves; with it, the
+        estimate stays near the true density 1.0 across [0, 1]."""
+        x = rng.uniform(0.0, 1.0, size=20_000)
+        reflected = KernelDensityEstimator(boundary="reflect").fit(x)
+        unreflected = KernelDensityEstimator(boundary="none").fit(x)
+        edge = np.asarray([0.001, 0.999])
+        assert np.all(reflected.pdf(edge) > 0.9)
+        assert np.all(unreflected.pdf(edge) < 0.7)
+
+    def test_reflected_count_unbiased_at_boundary(self, rng):
+        x = rng.uniform(0.0, 100.0, size=20_000)
+        kde = KernelDensityEstimator().fit(x)
+        # A boundary-touching range: [0, 10] holds ~10% of the mass.
+        assert kde.integrate(0.0, 10.0) == pytest.approx(0.10, abs=0.01)
+
+    def test_math_isclose_additivity_near_boundary(self, rng):
+        kde = KernelDensityEstimator().fit(rng.uniform(0, 1, size=5000))
+        lo, hi = kde.support
+        total = kde.integrate(lo, hi)
+        parts = kde.integrate(lo, 0.1) + kde.integrate(0.1, hi)
+        assert math.isclose(parts, total, abs_tol=1e-9)

@@ -1,0 +1,241 @@
+"""Unit tests for group-by model sets, the catalog, and model bundles."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DBEstConfig,
+    GroupByModelSet,
+    ModelBundle,
+    ModelCatalog,
+    ModelKey,
+)
+from repro.core.groupby import RawGroup
+from repro.errors import (
+    BundleError,
+    CatalogError,
+    ModelNotFoundError,
+    ModelTrainingError,
+)
+from repro.sql.ast import AggregateCall
+
+
+@pytest.fixture
+def grouped_data(rng):
+    """3 groups with distinct linear relations; group 3 is tiny."""
+    n = 9000
+    groups = np.concatenate(
+        [np.full(4000, 1), np.full(4960, 2), np.full(40, 3)]
+    ).astype(np.int64)
+    x = rng.uniform(0, 10, size=n)
+    slope = np.where(groups == 1, 1.0, np.where(groups == 2, 2.0, 5.0))
+    y = slope * x + rng.normal(0, 0.1, size=n)
+    return x, y, groups
+
+
+@pytest.fixture
+def model_set(grouped_data, rng):
+    x, y, groups = grouped_data
+    sample_idx = rng.choice(x.shape[0], size=3000, replace=False)
+    return GroupByModelSet.train(
+        sample_x=x[sample_idx],
+        sample_y=y[sample_idx],
+        sample_groups=groups[sample_idx],
+        full_groups=groups,
+        full_x=x,
+        full_y=y,
+        table_name="t",
+        x_columns=("x",),
+        y_column="y",
+        group_column="g",
+        config=DBEstConfig(regressor="plr", min_group_rows=100, random_seed=3),
+    )
+
+
+class TestRawGroup:
+    def test_exact_answers(self):
+        raw = RawGroup(np.asarray([1.0, 2.0, 3.0, 4.0]), np.asarray([10.0, 20.0, 30.0, 40.0]))
+        ranges = {"x": (1.5, 3.5)}
+        assert raw.answer(AggregateCall("COUNT", "y"), ranges, ("x",)) == 2.0
+        assert raw.answer(AggregateCall("SUM", "y"), ranges, ("x",)) == 50.0
+        assert raw.answer(AggregateCall("AVG", "y"), ranges, ("x",)) == 25.0
+
+    def test_empty_selection(self):
+        raw = RawGroup(np.asarray([1.0]), np.asarray([10.0]))
+        ranges = {"x": (5.0, 6.0)}
+        assert raw.answer(AggregateCall("COUNT", "y"), ranges, ("x",)) == 0.0
+        assert raw.answer(AggregateCall("SUM", "y"), ranges, ("x",)) == 0.0
+        assert np.isnan(raw.answer(AggregateCall("AVG", "y"), ranges, ("x",)))
+
+    def test_percentile(self):
+        raw = RawGroup(np.arange(101, dtype=float), np.arange(101, dtype=float))
+        value = raw.answer(
+            AggregateCall("PERCENTILE", "x", 0.5), {}, ("x",)
+        )
+        assert value == 50.0
+
+
+class TestGroupByTraining:
+    def test_groups_partitioned_by_size(self, model_set):
+        # Groups 1 and 2 are big enough for models; group 3 is raw.
+        assert set(model_set.models) == {1, 2}
+        assert set(model_set.raw_groups) == {3}
+        assert model_set.n_groups == 3
+
+    def test_population_counts_exact(self, model_set):
+        assert model_set.models[1].population_size == 4000
+        assert model_set.models[2].population_size == 4960
+
+    def test_max_groups_enforced(self, grouped_data, rng):
+        x, y, groups = grouped_data
+        with pytest.raises(ModelTrainingError):
+            GroupByModelSet.train(
+                sample_x=x, sample_y=y, sample_groups=groups,
+                full_groups=groups, full_x=x, full_y=y,
+                table_name="t", x_columns=("x",), y_column="y",
+                group_column="g",
+                config=DBEstConfig(max_groups=2, regressor="plr"),
+            )
+
+
+class TestGroupByAnswers:
+    def test_per_group_avg(self, model_set):
+        ranges = {"x": (2.0, 8.0)}
+        answers = model_set.answer(AggregateCall("AVG", "y"), ranges)
+        # E[s*x | 2<=x<=8] = 5s for uniform x and slope s.
+        assert answers[1] == pytest.approx(5.0, rel=0.1)
+        assert answers[2] == pytest.approx(10.0, rel=0.1)
+        assert answers[3] == pytest.approx(25.0, rel=0.2)  # raw group, exact-ish
+
+    def test_per_group_count_sums_to_total(self, model_set, grouped_data):
+        x, _y, _groups = grouped_data
+        ranges = {"x": (0.0, 10.0)}
+        answers = model_set.answer(AggregateCall("COUNT", "y"), ranges)
+        assert sum(answers.values()) == pytest.approx(x.shape[0], rel=0.05)
+
+    def test_single_group_lookup(self, model_set):
+        value = model_set.answer_group(2, AggregateCall("AVG", "y"), {"x": (2.0, 8.0)})
+        assert value == pytest.approx(10.0, rel=0.1)
+
+    def test_unknown_group_raises(self, model_set):
+        with pytest.raises(KeyError):
+            model_set.answer_group(99, AggregateCall("AVG", "y"), {})
+
+    def test_parallel_matches_sequential(self, model_set):
+        ranges = {"x": (1.0, 9.0)}
+        sequential = model_set.answer(AggregateCall("SUM", "y"), ranges, n_workers=1)
+        parallel = model_set.answer(AggregateCall("SUM", "y"), ranges, n_workers=4)
+        assert sequential == parallel
+
+
+class TestCatalog:
+    def test_register_and_get(self, model_set):
+        catalog = ModelCatalog()
+        key = ModelKey.make("t", ("x",), "y", "g")
+        catalog.register(key, model_set)
+        assert catalog.get(key) is model_set
+        assert key in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_registration_rejected(self, model_set):
+        catalog = ModelCatalog()
+        key = ModelKey.make("t", "x", "y")
+        catalog.register(key, model_set)
+        with pytest.raises(CatalogError):
+            catalog.register(key, model_set)
+        catalog.register(key, model_set, replace=True)  # explicit replace ok
+
+    def test_missing_model(self):
+        catalog = ModelCatalog()
+        with pytest.raises(ModelNotFoundError):
+            catalog.get(ModelKey.make("t", "x", "y"))
+
+    def test_key_order_insensitive(self):
+        assert ModelKey.make("t", ("b", "a"), "y") == ModelKey.make(
+            "t", ("a", "b"), "y"
+        )
+
+    def test_find_exact(self, model_set):
+        catalog = ModelCatalog()
+        catalog.register(ModelKey.make("t", "x", "y", "g"), model_set)
+        assert catalog.find("t", ("x",), "y", "g") is model_set
+
+    def test_find_count_star_wildcard(self, model_set):
+        catalog = ModelCatalog()
+        catalog.register(ModelKey.make("t", "x", "y", "g"), model_set)
+        # y=None (COUNT) matches any model over the same x / group columns.
+        assert catalog.find("t", ("x",), None, "g") is model_set
+        with pytest.raises(ModelNotFoundError):
+            catalog.find("t", ("x",), None, None)
+
+    def test_remove(self, model_set):
+        catalog = ModelCatalog()
+        key = ModelKey.make("t", "x", "y")
+        catalog.register(key, model_set)
+        catalog.remove(key)
+        assert key not in catalog
+        with pytest.raises(CatalogError):
+            catalog.remove(key)
+
+    def test_save_load_roundtrip(self, model_set, tmp_path):
+        catalog = ModelCatalog()
+        key = ModelKey.make("t", "x", "y", "g")
+        catalog.register(key, model_set)
+        path = tmp_path / "catalog.pkl"
+        written = catalog.save(path)
+        assert written == path.stat().st_size
+        restored = ModelCatalog.load(path)
+        answers = restored.get(key).answer(
+            AggregateCall("AVG", "y"), {"x": (2.0, 8.0)}
+        )
+        assert answers[1] == pytest.approx(5.0, rel=0.1)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CatalogError):
+            ModelCatalog.load(tmp_path / "nope.pkl")
+
+    def test_summary(self, model_set):
+        catalog = ModelCatalog()
+        catalog.register(ModelKey.make("t", "x", "y", "g"), model_set)
+        rows = catalog.summary()
+        assert rows[0]["table"] == "t"
+        assert rows[0]["type"] == "GroupByModelSet"
+
+
+class TestBundles:
+    def test_write_and_lazy_load(self, model_set, tmp_path):
+        path = tmp_path / "bundle.pkl"
+        bundle = ModelBundle.write(model_set, path)
+        assert not bundle.loaded
+        assert bundle.size_bytes() > 0
+        answers = bundle.answer(AggregateCall("AVG", "y"), {"x": (2.0, 8.0)})
+        assert bundle.loaded
+        assert bundle.last_load_seconds is not None
+        assert answers[1] == pytest.approx(5.0, rel=0.1)
+
+    def test_unload_then_reuse(self, model_set, tmp_path):
+        bundle = ModelBundle.write(model_set, tmp_path / "b.pkl")
+        bundle.load()
+        bundle.unload()
+        assert not bundle.loaded
+        assert bundle.n_groups == 3  # transparently reloads
+
+    def test_missing_file(self, tmp_path):
+        bundle = ModelBundle(tmp_path / "missing.pkl")
+        with pytest.raises(BundleError):
+            bundle.load()
+
+    def test_wrong_payload_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(pickle.dumps({"not": "a model set"}))
+        with pytest.raises(BundleError):
+            ModelBundle(path).load()
+
+    def test_delegated_metadata(self, model_set, tmp_path):
+        bundle = ModelBundle.write(model_set, tmp_path / "b.pkl")
+        assert bundle.group_column == "g"
+        assert bundle.x_columns == ("x",)
+        assert bundle.y_column == "y"
+        assert sorted(bundle.group_values) == [1, 2, 3]

@@ -1,0 +1,292 @@
+"""Unit tests for the baseline engines: exact, uniform (VerdictDB-like),
+stratified (BlinkDB-like), and the error bounds."""
+
+import numpy as np
+import pytest
+
+from repro.engines import (
+    ExactEngine,
+    StratifiedAQPEngine,
+    UniformAQPEngine,
+    clt_half_width,
+    hoeffding_count_relative_error,
+)
+from repro.errors import (
+    InvalidParameterError,
+    QueryExecutionError,
+    UnknownTableError,
+)
+from repro.storage import Table
+
+
+class TestExactEngine:
+    def test_scalar_aggregates_match_numpy(self, linear_table):
+        engine = ExactEngine()
+        engine.register_table(linear_table)
+        x, y = linear_table["x"], linear_table["y"]
+        mask = (x >= 20.0) & (x <= 60.0)
+        result = engine.execute(
+            "SELECT COUNT(y), SUM(y), AVG(y), VARIANCE(y), STDDEV(y) "
+            "FROM linear WHERE x BETWEEN 20 AND 60;"
+        )
+        assert result.values["COUNT(y)"] == mask.sum()
+        assert result.values["SUM(y)"] == pytest.approx(y[mask].sum())
+        assert result.values["AVG(y)"] == pytest.approx(y[mask].mean())
+        assert result.values["VARIANCE(y)"] == pytest.approx(y[mask].var())
+        assert result.values["STDDEV(y)"] == pytest.approx(y[mask].std())
+
+    def test_percentile(self, linear_table):
+        engine = ExactEngine()
+        engine.register_table(linear_table)
+        result = engine.execute("SELECT PERCENTILE(x, 0.25) FROM linear;")
+        assert result.scalar() == pytest.approx(
+            np.quantile(linear_table["x"], 0.25)
+        )
+
+    def test_group_by(self, linear_table):
+        engine = ExactEngine()
+        engine.register_table(linear_table)
+        result = engine.execute(
+            "SELECT g, AVG(y) FROM linear WHERE x BETWEEN 0 AND 100 GROUP BY g;"
+        )
+        groups = result.groups()
+        assert set(groups) == set(np.unique(linear_table["g"]).tolist())
+
+    def test_empty_selection(self, linear_table):
+        engine = ExactEngine()
+        engine.register_table(linear_table)
+        result = engine.execute(
+            "SELECT COUNT(y), SUM(y), AVG(y) FROM linear WHERE x BETWEEN 900 AND 901;"
+        )
+        assert result.values["COUNT(y)"] == 0.0
+        assert result.values["SUM(y)"] == 0.0
+        assert np.isnan(result.values["AVG(y)"])
+
+    def test_unknown_table(self):
+        engine = ExactEngine()
+        with pytest.raises(UnknownTableError):
+            engine.execute("SELECT AVG(y) FROM ghost WHERE x BETWEEN 0 AND 1;")
+
+    def test_join_query(self, rng):
+        fact = Table(
+            {"k": rng.integers(0, 5, size=1000).astype(np.int64),
+             "v": np.ones(1000)},
+            name="fact",
+        )
+        dim = Table(
+            {"k": np.arange(5, dtype=np.int64),
+             "w": np.asarray([0.0, 10.0, 20.0, 30.0, 40.0])},
+            name="dim",
+        )
+        engine = ExactEngine()
+        engine.register_table(fact)
+        engine.register_table(dim)
+        result = engine.execute(
+            "SELECT COUNT(v) FROM fact JOIN dim ON k = k WHERE w BETWEEN 15 AND 45;"
+        )
+        expected = int(np.isin(fact["k"], [2, 3, 4]).sum())
+        assert result.scalar() == expected
+
+    def test_sample_mode_scales_count_and_sum(self, linear_table, rng):
+        from repro.sampling import uniform_sample_table
+
+        sample = uniform_sample_table(linear_table, 1000, rng=rng)
+        engine = ExactEngine()
+        engine.register_sample(sample, population_size=linear_table.n_rows)
+        sql = "SELECT COUNT(y) FROM linear_sample WHERE x BETWEEN 20 AND 60;"
+        estimate = engine.execute(sql).scalar()
+        truth = float(
+            ((linear_table["x"] >= 20) & (linear_table["x"] <= 60)).sum()
+        )
+        assert estimate == pytest.approx(truth, rel=0.15)
+
+    def test_sample_smaller_than_population_enforced(self, linear_table):
+        engine = ExactEngine()
+        with pytest.raises(InvalidParameterError):
+            engine.register_sample(linear_table, population_size=10)
+
+
+class TestUniformAQP:
+    @pytest.fixture
+    def prepared(self, linear_table):
+        engine = UniformAQPEngine(sample_size=2000, random_seed=5)
+        engine.register_table(linear_table)
+        engine.prepare_table("linear")
+        return engine
+
+    def test_avg_unscaled(self, prepared, truth_engine):
+        sql = "SELECT AVG(y) FROM linear WHERE x BETWEEN 20 AND 60;"
+        truth = truth_engine.execute(sql).scalar()
+        assert prepared.execute(sql).scalar() == pytest.approx(truth, rel=0.05)
+
+    def test_count_scaled(self, prepared, truth_engine):
+        sql = "SELECT COUNT(y) FROM linear WHERE x BETWEEN 20 AND 60;"
+        truth = truth_engine.execute(sql).scalar()
+        assert prepared.execute(sql).scalar() == pytest.approx(truth, rel=0.15)
+
+    def test_sum_scaled(self, prepared, truth_engine):
+        sql = "SELECT SUM(y) FROM linear WHERE x BETWEEN 20 AND 60;"
+        truth = truth_engine.execute(sql).scalar()
+        assert prepared.execute(sql).scalar() == pytest.approx(truth, rel=0.15)
+
+    def test_unprepared_table_rejected(self, linear_table):
+        engine = UniformAQPEngine(random_seed=5)
+        engine.register_table(linear_table)
+        with pytest.raises(QueryExecutionError):
+            engine.execute("SELECT AVG(y) FROM linear WHERE x BETWEEN 0 AND 1;")
+
+    def test_confidence_interval_covers_truth(self, prepared, truth_engine):
+        sql = "SELECT AVG(y) FROM linear WHERE x BETWEEN 10 AND 90;"
+        truth = truth_engine.execute(sql).scalar()
+        prepared.execute(sql)
+        low, high = prepared.last_intervals["AVG(y)"]
+        assert low < truth < high
+
+    def test_state_size_reported(self, prepared):
+        assert prepared.state_size_bytes() > 0
+
+    def test_group_by(self, prepared, truth_engine):
+        sql = "SELECT g, COUNT(y) FROM linear WHERE x BETWEEN 0 AND 100 GROUP BY g;"
+        truth = truth_engine.execute(sql).groups()
+        estimate = prepared.execute(sql).groups()
+        total_truth = sum(truth.values())
+        total_estimate = sum(estimate.values())
+        assert total_estimate == pytest.approx(total_truth, rel=0.1)
+
+    def test_join_with_universe_sample(self, rng):
+        fact = Table(
+            {"k": rng.integers(0, 100, size=50_000).astype(np.int64),
+             "v": rng.normal(10.0, 1.0, size=50_000)},
+            name="fact",
+        )
+        dim = Table(
+            {"k": np.arange(100, dtype=np.int64),
+             "w": np.linspace(0, 99, 100)},
+            name="dim",
+        )
+        truth = ExactEngine()
+        truth.register_table(fact)
+        truth.register_table(dim)
+        engine = UniformAQPEngine(random_seed=5)
+        engine.register_table(fact)
+        engine.register_table(dim)
+        engine.prepare_join("fact", "k", key_fraction=0.3)
+        sql = (
+            "SELECT COUNT(v) FROM fact JOIN dim ON k = k "
+            "WHERE w BETWEEN 0 AND 99;"
+        )
+        expected = truth.execute(sql).scalar()
+        assert engine.execute(sql).scalar() == pytest.approx(expected, rel=0.25)
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(InvalidParameterError):
+            UniformAQPEngine(sample_size=0)
+
+
+class TestStratifiedAQP:
+    @pytest.fixture
+    def skewed_table(self, rng):
+        """One huge group, one tiny group."""
+        groups = np.concatenate([np.zeros(49_000), np.ones(1000)]).astype(np.int64)
+        x = rng.uniform(0, 100, size=50_000)
+        y = np.where(groups == 0, 10.0, 1000.0) + rng.normal(0, 1, size=50_000)
+        return Table({"x": x, "y": y, "g": groups}, name="skewed")
+
+    def test_rare_group_survives(self, skewed_table):
+        engine = StratifiedAQPEngine(cap_per_stratum=500, random_seed=5)
+        engine.register_table(skewed_table)
+        engine.prepare_table("skewed", stratify_on="g")
+        result = engine.execute(
+            "SELECT g, AVG(y) FROM skewed WHERE x BETWEEN 0 AND 100 GROUP BY g;"
+        )
+        groups = result.groups()
+        assert set(groups) == {0, 1}
+        assert groups[1] == pytest.approx(1000.0, rel=0.05)
+
+    def test_count_reweighted(self, skewed_table):
+        engine = StratifiedAQPEngine(cap_per_stratum=500, random_seed=5)
+        engine.register_table(skewed_table)
+        engine.prepare_table("skewed", stratify_on="g")
+        result = engine.execute(
+            "SELECT COUNT(y) FROM skewed WHERE x BETWEEN 0 AND 100;"
+        )
+        assert result.scalar() == pytest.approx(50_000, rel=0.02)
+
+    def test_sum_reweighted(self, skewed_table):
+        engine = StratifiedAQPEngine(cap_per_stratum=500, random_seed=5)
+        engine.register_table(skewed_table)
+        engine.prepare_table("skewed", stratify_on="g")
+        truth = float(skewed_table["y"].sum())
+        result = engine.execute(
+            "SELECT SUM(y) FROM skewed WHERE x BETWEEN 0 AND 100;"
+        )
+        assert result.scalar() == pytest.approx(truth, rel=0.05)
+
+    def test_sample_size_translated_to_cap(self, skewed_table):
+        engine = StratifiedAQPEngine(random_seed=5)
+        engine.register_table(skewed_table)
+        engine.prepare_table("skewed", stratify_on="g", sample_size=1000)
+        assert engine.state_size_bytes() > 0
+        assert engine._samples["skewed"].n_rows <= 1001
+
+    def test_joins_rejected(self, skewed_table):
+        engine = StratifiedAQPEngine(random_seed=5)
+        engine.register_table(skewed_table)
+        engine.prepare_table("skewed", stratify_on="g")
+        with pytest.raises(QueryExecutionError):
+            engine.execute(
+                "SELECT AVG(y) FROM skewed JOIN other ON g = g2 "
+                "WHERE x BETWEEN 0 AND 1;"
+            )
+
+    def test_unprepared_rejected(self, skewed_table):
+        engine = StratifiedAQPEngine(random_seed=5)
+        engine.register_table(skewed_table)
+        with pytest.raises(QueryExecutionError):
+            engine.execute("SELECT AVG(y) FROM skewed WHERE x BETWEEN 0 AND 1;")
+
+    def test_invalid_cap(self):
+        with pytest.raises(InvalidParameterError):
+            StratifiedAQPEngine(cap_per_stratum=0)
+
+
+class TestBounds:
+    def test_hoeffding_formula(self):
+        assert hoeffding_count_relative_error(0.1, 10_000) == pytest.approx(
+            1.22 / (0.1 * 100.0)
+        )
+
+    def test_hoeffding_decreases_with_n(self):
+        assert hoeffding_count_relative_error(0.1, 40_000) < (
+            hoeffding_count_relative_error(0.1, 10_000)
+        )
+
+    def test_hoeffding_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            hoeffding_count_relative_error(0.0, 100)
+        with pytest.raises(InvalidParameterError):
+            hoeffding_count_relative_error(0.5, 0)
+
+    def test_clt_half_width(self):
+        assert clt_half_width(2.0, 400, 0.95) == pytest.approx(
+            1.96 * 2.0 / 20.0, rel=1e-3
+        )
+
+    def test_clt_coverage_empirically(self, rng):
+        # ~95% of CLT intervals should contain the true mean.
+        true_mean, covered = 5.0, 0
+        trials = 300
+        for _ in range(trials):
+            sample = rng.normal(true_mean, 2.0, size=200)
+            half = clt_half_width(float(sample.std()), 200, 0.95)
+            if abs(sample.mean() - true_mean) <= half:
+                covered += 1
+        assert 0.90 <= covered / trials <= 0.99
+
+    def test_clt_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            clt_half_width(1.0, 0)
+        with pytest.raises(InvalidParameterError):
+            clt_half_width(-1.0, 10)
+        with pytest.raises(InvalidParameterError):
+            clt_half_width(1.0, 10, confidence=0.5)

@@ -1,0 +1,195 @@
+"""Failure-injection tests: corrupt state, degenerate data, edge inputs."""
+
+import numpy as np
+import pytest
+
+from repro import DBEst, DBEstConfig, Table
+from repro.core import ColumnSetModel, ModelBundle, ModelCatalog, ModelKey
+from repro.errors import (
+    BundleError,
+    CatalogError,
+    ModelNotFoundError,
+    ModelTrainingError,
+    SQLSyntaxError,
+)
+
+
+class TestCorruptState:
+    def test_truncated_catalog_file(self, tmp_path, linear_table, fast_config):
+        engine = DBEst(config=fast_config)
+        engine.register_table(linear_table)
+        engine.build_model("linear", x="x", y="y", sample_size=2000)
+        path = tmp_path / "catalog.pkl"
+        engine.catalog.save(path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CatalogError):
+            ModelCatalog.load(path)
+
+    def test_garbage_catalog_file(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        path.write_bytes(b"this is not a pickle")
+        with pytest.raises(CatalogError):
+            ModelCatalog.load(path)
+
+    def test_catalog_with_wrong_payload_type(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "wrong.pkl"
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(CatalogError):
+            ModelCatalog.load(path)
+
+    def test_truncated_bundle(self, tmp_path, linear_table, fast_config):
+        engine = DBEst(config=fast_config)
+        engine.register_table(linear_table)
+        key = engine.build_model(
+            "linear", x="x", y="y", sample_size=3000, group_by="g"
+        )
+        bundle = engine.bundle_model(key, tmp_path / "b.pkl")
+        bundle.unload()
+        bundle.path.write_bytes(
+            bundle.path.read_bytes()[: bundle.path.stat().st_size // 3]
+        )
+        with pytest.raises(BundleError):
+            bundle.load()
+
+
+class TestDegenerateData:
+    def test_constant_x_column_point_mass(self, rng):
+        x = np.full(500, 42.0)
+        y = rng.normal(10.0, 1.0, size=500)
+        model = ColumnSetModel.train(
+            x, y, table_name="t", x_columns=("x",), y_column="y",
+            population_size=5000,
+            config=DBEstConfig(regressor="linear", random_seed=1),
+        )
+        # Any range containing the point holds all mass (BETWEEN inclusive).
+        assert model.count({"x": (42.0, 50.0)}) == pytest.approx(5000)
+        assert model.count({"x": (0.0, 42.0)}) == pytest.approx(5000)
+        assert model.count({"x": (43.0, 50.0)}) == pytest.approx(0.0)
+        assert model.avg({"x": (40.0, 45.0)}) == pytest.approx(10.0, rel=0.1)
+
+    def test_constant_y_column(self, rng):
+        x = rng.uniform(0, 10, size=500)
+        model = ColumnSetModel.train(
+            x, np.full(500, 7.0), table_name="t", x_columns=("x",),
+            y_column="y", population_size=500,
+            config=DBEstConfig(regressor="tree", random_seed=1),
+        )
+        assert model.avg({"x": (2.0, 8.0)}) == pytest.approx(7.0, abs=0.01)
+        assert model.variance_y({"x": (2.0, 8.0)}) == pytest.approx(0.0, abs=0.01)
+
+    def test_nan_in_training_data_rejected(self):
+        x = np.asarray([1.0, np.nan, 3.0])
+        with pytest.raises(ModelTrainingError):
+            ColumnSetModel.train(
+                x, None, table_name="t", x_columns=("x",), y_column=None,
+                population_size=3,
+            )
+
+    def test_single_row_sample(self):
+        model = ColumnSetModel.train(
+            np.asarray([5.0]), np.asarray([10.0]),
+            table_name="t", x_columns=("x",), y_column="y",
+            population_size=1000,
+            config=DBEstConfig(regressor="linear", random_seed=1),
+        )
+        assert model.count({"x": (0.0, 10.0)}) == pytest.approx(1000)
+
+    def test_two_distinct_values(self, rng):
+        x = np.asarray([1.0, 2.0] * 50)
+        y = x * 10.0
+        model = ColumnSetModel.train(
+            x, y, table_name="t", x_columns=("x",), y_column="y",
+            population_size=100,
+            config=DBEstConfig(regressor="linear", random_seed=1),
+        )
+        total = model.count({"x": (0.0, 3.0)})
+        assert total == pytest.approx(100, rel=0.05)
+
+
+class TestEdgeInputs:
+    def test_sample_size_larger_than_table(self, linear_table, fast_config):
+        engine = DBEst(config=fast_config)
+        engine.register_table(linear_table)
+        key = engine.build_model(
+            "linear", x="x", y="y", sample_size=10 * linear_table.n_rows
+        )
+        assert engine.build_stats[key]["sample_size"] == linear_table.n_rows
+
+    def test_zero_width_range(self, linear_table, fast_config, truth_engine):
+        engine = DBEst(config=fast_config)
+        engine.register_table(linear_table)
+        engine.build_model("linear", x="x", y="y", sample_size=2000)
+        result = engine.execute(
+            "SELECT COUNT(y) FROM linear WHERE x BETWEEN 50 AND 50;"
+        )
+        # A zero-width range over a continuous column holds ~no mass.
+        assert result.scalar() == pytest.approx(0.0, abs=50.0)
+
+    def test_reversed_range_is_syntax_error(self, fast_config):
+        engine = DBEst(config=fast_config)
+        with pytest.raises(SQLSyntaxError):
+            engine.execute("SELECT COUNT(y) FROM t WHERE x BETWEEN 9 AND 1;")
+
+    def test_query_after_model_removed(self, linear_table, fast_config):
+        engine = DBEst(config=fast_config)
+        engine.register_table(linear_table)
+        key = engine.build_model("linear", x="x", y="y", sample_size=2000)
+        engine.catalog.remove(key)
+        with pytest.raises(ModelNotFoundError):
+            engine.execute("SELECT AVG(y) FROM linear WHERE x BETWEEN 1 AND 2;")
+
+    def test_rebuild_replaces_model(self, linear_table, fast_config):
+        engine = DBEst(config=fast_config)
+        engine.register_table(linear_table)
+        first = engine.build_model("linear", x="x", y="y", sample_size=1000)
+        second = engine.build_model("linear", x="x", y="y", sample_size=2000)
+        assert first == second
+        assert engine.build_stats[second]["sample_size"] == 2000
+
+    def test_range_entirely_below_domain(self, linear_table, fast_config):
+        engine = DBEst(config=fast_config)
+        engine.register_table(linear_table)
+        engine.build_model("linear", x="x", y="y", sample_size=2000)
+        result = engine.execute(
+            "SELECT COUNT(y), SUM(y) FROM linear WHERE x BETWEEN -500 AND -400;"
+        )
+        assert result.values["COUNT(y)"] == pytest.approx(0.0, abs=1.0)
+        assert result.values["SUM(y)"] == 0.0
+
+    def test_integer_predicate_column(self, rng, fast_config):
+        # Date-key style integer predicates must work end to end.
+        table = Table(
+            {
+                "day": rng.integers(0, 365, size=20_000).astype(np.int64),
+                "amount": rng.normal(100.0, 10.0, size=20_000),
+            },
+            name="t",
+        )
+        engine = DBEst(config=fast_config)
+        engine.register_table(table)
+        engine.build_model("t", x="day", y="amount", sample_size=5000)
+        truth = float(
+            table["amount"][(table["day"] >= 100) & (table["day"] <= 200)].sum()
+        )
+        estimate = engine.execute(
+            "SELECT SUM(amount) FROM t WHERE day BETWEEN 100 AND 200;"
+        ).scalar()
+        assert estimate == pytest.approx(truth, rel=0.1)
+
+    def test_negative_domain(self, rng, fast_config):
+        table = Table(
+            {
+                "x": rng.uniform(-100.0, -50.0, size=10_000),
+                "y": rng.normal(-5.0, 1.0, size=10_000),
+            },
+            name="neg",
+        )
+        engine = DBEst(config=fast_config)
+        engine.register_table(table)
+        engine.build_model("neg", x="x", y="y", sample_size=3000)
+        result = engine.execute(
+            "SELECT AVG(y) FROM neg WHERE x BETWEEN -90 AND -60;"
+        )
+        assert result.scalar() == pytest.approx(-5.0, rel=0.05)

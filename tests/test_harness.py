@@ -1,0 +1,141 @@
+"""Unit tests for the experiment harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import DBEst
+from repro.harness import (
+    compare_engines,
+    format_table,
+    print_figure,
+    run_workload,
+    summarize_by_aggregate,
+)
+from repro.harness.report import histogram_rows
+from repro.harness.runner import per_group_errors, record_error
+from repro.harness.timing import stopwatch, total_workload_time
+from repro.workloads import generate_range_queries
+
+
+@pytest.fixture
+def dbest(linear_table, fast_config):
+    engine = DBEst(config=fast_config)
+    engine.register_table(linear_table)
+    engine.build_model("linear", x="x", y="y", sample_size=3000)
+    return engine
+
+
+@pytest.fixture
+def workload(linear_table):
+    return generate_range_queries(
+        linear_table, [("x", "y")], n_per_aggregate=2,
+        aggregates=("COUNT", "SUM", "AVG"), range_fraction=0.2,
+    )
+
+
+class TestRecordError:
+    def test_scalar(self):
+        assert record_error(100.0, 110.0) == pytest.approx(0.1)
+
+    def test_nan_truth(self):
+        assert math.isnan(record_error(float("nan"), 1.0))
+
+    def test_grouped(self):
+        truth = {1: 10.0, 2: 20.0}
+        estimate = {1: 11.0, 2: 22.0}
+        assert record_error(truth, estimate) == pytest.approx(0.1)
+
+    def test_missing_group_counts_full_error(self):
+        truth = {1: 10.0, 2: 20.0}
+        estimate = {1: 10.0}
+        assert record_error(truth, estimate) == pytest.approx(0.5)
+
+    def test_spurious_groups_ignored(self):
+        truth = {1: 10.0}
+        estimate = {1: 10.0, 9: 99.0}
+        assert record_error(truth, estimate) == 0.0
+
+
+class TestRunner:
+    def test_run_workload_collects_records(self, dbest, truth_engine, workload):
+        run = run_workload(dbest, workload, truth_engine)
+        assert len(run.records) == len(workload)
+        assert run.mean_relative_error() < 0.2
+        assert run.mean_latency() > 0
+        assert run.total_latency() >= run.mean_latency()
+
+    def test_per_aggregate_breakdown(self, dbest, truth_engine, workload):
+        run = run_workload(dbest, workload, truth_engine)
+        for aggregate in ("COUNT", "SUM", "AVG"):
+            assert not math.isnan(run.mean_relative_error(aggregate))
+
+    def test_compare_engines(self, dbest, truth_engine, workload):
+        runs = compare_engines(
+            {"DBEst": dbest, "Exact": truth_engine}, workload, truth_engine
+        )
+        assert set(runs) == {"DBEst", "Exact"}
+        # The exact engine scored against itself is error-free.
+        assert runs["Exact"].mean_relative_error() == pytest.approx(0.0, abs=1e-12)
+
+    def test_summary_rows(self, dbest, truth_engine, workload):
+        runs = compare_engines({"DBEst": dbest}, workload, truth_engine)
+        rows = summarize_by_aggregate(runs)
+        assert rows[0]["engine"] == "DBEst"
+        assert "OVERALL" in rows[0]
+
+    def test_per_group_errors(self, linear_table, fast_config, truth_engine):
+        engine = DBEst(config=fast_config)
+        engine.register_table(linear_table)
+        engine.build_model("linear", x="x", y="y", sample_size=4000, group_by="g")
+        errors = per_group_errors(
+            engine,
+            "SELECT g, AVG(y) FROM linear WHERE x BETWEEN 10 AND 90 GROUP BY g;",
+            truth_engine,
+        )
+        assert set(errors) == set(np.unique(linear_table["g"]).tolist())
+        assert all(e < 0.5 for e in errors.values())
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 2.5, "b": "longer"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, divider, two rows
+        assert lines[0].startswith("a")
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_handles_nan_and_extremes(self):
+        text = format_table([{"v": float("nan")}, {"v": 1e-9}, {"v": 5e7}])
+        assert "nan" in text
+        assert "e-" in text or "e+" in text
+
+    def test_print_figure_smoke(self, capsys):
+        print_figure("Fig X", "Demo", [{"a": 1}], notes="scaled down")
+        out = capsys.readouterr().out
+        assert "Fig X" in out and "scaled down" in out
+
+    def test_histogram_rows(self):
+        errors = {i: i / 100.0 for i in range(50)}
+        rows = histogram_rows(errors, n_bins=5)
+        assert sum(r["groups"] for r in rows) == 50
+
+    def test_histogram_empty(self):
+        assert histogram_rows({}) == []
+
+
+class TestTiming:
+    def test_stopwatch(self):
+        with stopwatch() as timer:
+            sum(range(10_000))
+        assert timer.seconds > 0
+
+    def test_total_workload_time_parallel_not_slower_x2(self, dbest, workload):
+        sequential = total_workload_time(dbest, workload, n_processes=1)
+        parallel = total_workload_time(dbest, workload, n_processes=4)
+        # Parallel drain must not be drastically slower than sequential.
+        assert parallel < 3.0 * sequential + 0.5

@@ -1,0 +1,138 @@
+"""Tests for the histogram density estimator and the online AQP engine."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.engines import ExactEngine, OnlineAQPEngine
+from repro.errors import InvalidParameterError, ModelTrainingError
+from repro.ml import HistogramDensity, KernelDensityEstimator
+
+
+class TestHistogramDensity:
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelTrainingError):
+            HistogramDensity().pdf(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelTrainingError):
+            HistogramDensity().fit(np.asarray([]))
+
+    def test_invalid_bins(self):
+        with pytest.raises(InvalidParameterError):
+            HistogramDensity(n_bins=0)
+
+    def test_integrates_to_one(self, rng):
+        density = HistogramDensity(n_bins=32).fit(rng.normal(size=10_000))
+        lo, hi = density.support
+        assert density.integrate(lo, hi) == pytest.approx(1.0, abs=1e-9)
+
+    def test_pdf_matches_normal(self, rng):
+        density = HistogramDensity(n_bins=64).fit(
+            rng.normal(10.0, 2.0, size=50_000)
+        )
+        xs = np.linspace(6.0, 14.0, 9)
+        # Tail bins average over a steep pdf, so tolerance is looser than
+        # the KDE's (the discreteness the paper objects to).
+        np.testing.assert_allclose(
+            density.pdf(xs), stats.norm(10.0, 2.0).pdf(xs), rtol=0.25
+        )
+
+    def test_pdf_zero_outside_support(self, rng):
+        density = HistogramDensity().fit(rng.uniform(0.0, 1.0, size=1000))
+        assert density.pdf(np.asarray([-1.0, 2.0])).sum() == 0.0
+
+    def test_cdf_monotone(self, rng):
+        density = HistogramDensity().fit(rng.normal(size=5000))
+        xs = np.linspace(*density.support, 100)
+        assert np.all(np.diff(density.cdf(xs)) >= 0)
+
+    def test_discreteness_vs_kde(self, rng):
+        """The paper's objection: the histogram is blocky at bin scale."""
+        x = rng.normal(size=20_000)
+        histogram = HistogramDensity(n_bins=16).fit(x)
+        kde = KernelDensityEstimator().fit(x)
+        grid = np.linspace(-2, 2, 400)
+        # Piecewise-constant pdf has exactly <= n_bins distinct values.
+        assert np.unique(np.round(histogram.pdf(grid), 12)).size <= 16
+        assert np.unique(np.round(kde.pdf(grid), 12)).size > 100
+
+    def test_degenerate_constant_data(self):
+        density = HistogramDensity().fit(np.full(100, 5.0))
+        assert density.integrate(4.0, 6.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_sampling(self, rng):
+        density = HistogramDensity(n_bins=32).fit(
+            rng.normal(50.0, 5.0, size=20_000)
+        )
+        draws = density.sample(10_000, rng=rng)
+        assert abs(draws.mean() - 50.0) < 0.5
+        lo, hi = density.support
+        assert draws.min() >= lo and draws.max() <= hi
+
+
+class TestOnlineAQP:
+    @pytest.fixture
+    def engine(self, linear_table):
+        engine = OnlineAQPEngine(sample_size=2000, random_seed=7)
+        engine.register_table(linear_table)
+        return engine
+
+    def test_no_prebuilt_state(self, engine):
+        assert engine.state_size_bytes() == 0
+
+    def test_scalar_accuracy(self, engine, truth_engine):
+        sql = "SELECT AVG(y) FROM linear WHERE x BETWEEN 20 AND 60;"
+        truth = truth_engine.execute(sql).scalar()
+        assert engine.execute(sql).scalar() == pytest.approx(truth, rel=0.1)
+
+    def test_count_scaled_to_population(self, engine, truth_engine):
+        sql = "SELECT COUNT(y) FROM linear WHERE x BETWEEN 20 AND 60;"
+        truth = truth_engine.execute(sql).scalar()
+        assert engine.execute(sql).scalar() == pytest.approx(truth, rel=0.2)
+
+    def test_fresh_sample_each_query(self, engine):
+        sql = "SELECT AVG(y) FROM linear WHERE x BETWEEN 20 AND 60;"
+        answers = {round(engine.execute(sql).scalar(), 9) for _ in range(5)}
+        assert len(answers) > 1  # online sampling re-draws every time
+
+    def test_join_query(self, rng):
+        from repro.storage import Table
+
+        fact = Table(
+            {"k": rng.integers(0, 10, size=20_000).astype(np.int64),
+             "v": rng.normal(5.0, 1.0, size=20_000)},
+            name="fact",
+        )
+        dim = Table(
+            {"k": np.arange(10, dtype=np.int64),
+             "w": np.linspace(0, 90, 10)},
+            name="dim",
+        )
+        online = OnlineAQPEngine(sample_size=4000, random_seed=7)
+        online.register_table(fact)
+        online.register_table(dim)
+        exact = ExactEngine()
+        exact.register_table(fact)
+        exact.register_table(dim)
+        sql = "SELECT AVG(v) FROM fact JOIN dim ON k = k WHERE w BETWEEN 20 AND 70;"
+        truth = exact.execute(sql).scalar()
+        assert online.execute(sql).scalar() == pytest.approx(truth, rel=0.1)
+
+    def test_as_dbest_fallback(self, linear_table, fast_config):
+        """The paper's architecture: model-less queries fall through to an
+        online-sampling AQP engine."""
+        from repro import DBEst
+
+        online = OnlineAQPEngine(sample_size=2000, random_seed=7)
+        online.register_table(linear_table)
+        engine = DBEst(config=fast_config, fallback=online)
+        engine.register_table(linear_table)
+        result = engine.execute(
+            "SELECT AVG(y) FROM linear WHERE x BETWEEN 10 AND 30;"
+        )
+        assert result.source == "fallback"
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(InvalidParameterError):
+            OnlineAQPEngine(sample_size=0)

@@ -1,0 +1,162 @@
+"""Integration tests: the full offline workflow across module boundaries.
+
+These exercise realistic multi-module paths: CSV on disk -> columnar
+table -> reservoir sample -> models -> catalog on disk -> fresh engine ->
+SQL answers scored against exact ground truth; plus the engine fallback
+chain and a multi-engine workload comparison through the harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DBEst,
+    DBEstConfig,
+    ExactEngine,
+    UniformAQPEngine,
+    generate_ccpp,
+    read_csv,
+    write_csv,
+)
+from repro.core import ModelCatalog
+from repro.engines import OnlineAQPEngine
+from repro.harness import compare_engines
+from repro.workloads import generate_range_queries
+
+
+class TestCsvToAnswers:
+    def test_full_pipeline(self, tmp_path):
+        # 1. data lands on disk as CSV (the paper's "just a local FS").
+        table = generate_ccpp(50_000, seed=11)
+        csv_path = tmp_path / "ccpp.csv"
+        write_csv(table, csv_path)
+
+        # 2. a build session loads it, trains models, saves the catalog.
+        loaded = read_csv(csv_path, name="ccpp")
+        assert loaded.n_rows == 50_000
+        build_engine = DBEst(config=DBEstConfig(regressor="plr", random_seed=3))
+        build_engine.register_table(loaded)
+        build_engine.build_model("ccpp", x="T", y="EP", sample_size=5000)
+        catalog_path = tmp_path / "models.pkl"
+        build_engine.catalog.save(catalog_path)
+
+        # 3. a fresh query session restores the catalog — no base data.
+        query_engine = DBEst()
+        query_engine.catalog = ModelCatalog.load(catalog_path)
+        truth = ExactEngine()
+        truth.register_table(table)
+        sql = "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 20;"
+        expected = truth.execute(sql).scalar()
+        estimate = query_engine.execute(sql).scalar()
+        assert estimate == pytest.approx(expected, rel=0.02)
+
+    def test_csv_roundtrip_preserves_answers(self, tmp_path):
+        table = generate_ccpp(20_000, seed=11)
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path, name="ccpp")
+        for engine_table in (table, back):
+            truth = ExactEngine()
+            truth.register_table(engine_table)
+            value = truth.execute(
+                "SELECT SUM(EP) FROM ccpp WHERE T BETWEEN 5 AND 25;"
+            ).scalar()
+            assert value == pytest.approx(
+                float(
+                    table["EP"][(table["T"] >= 5) & (table["T"] <= 25)].sum()
+                ),
+                rel=1e-9,
+            )
+
+
+class TestFallbackChain:
+    def test_three_level_architecture(self, linear_table, fast_config):
+        """Paper Fig. 1: DBEst -> online AQP -> exact QP."""
+        exact = ExactEngine()
+        exact.register_table(linear_table)
+
+        online = OnlineAQPEngine(sample_size=1500, random_seed=3)
+        online.register_table(linear_table)
+
+        dbest = DBEst(config=fast_config, fallback=online)
+        dbest.register_table(linear_table)
+        dbest.build_model("linear", x="x", y="y", sample_size=2000)
+
+        # Modelled template: answered by models.
+        modelled = dbest.execute(
+            "SELECT AVG(y) FROM linear WHERE x BETWEEN 20 AND 60;"
+        )
+        assert modelled.source == "model"
+
+        # Unmodelled template: falls through to online sampling.
+        fallback = dbest.execute(
+            "SELECT AVG(x) FROM linear WHERE y BETWEEN 100 AND 200;"
+        )
+        assert fallback.source == "fallback"
+        truth = exact.execute(
+            "SELECT AVG(x) FROM linear WHERE y BETWEEN 100 AND 200;"
+        ).scalar()
+        assert fallback.scalar() == pytest.approx(truth, rel=0.1)
+
+
+class TestMultiEngineComparison:
+    def test_harness_over_three_engines(self, tmp_path):
+        table = generate_ccpp(60_000, seed=13)
+        truth = ExactEngine()
+        truth.register_table(table)
+
+        dbest = DBEst(config=DBEstConfig(regressor="plr", random_seed=3))
+        dbest.register_table(table)
+        dbest.build_model("ccpp", x="T", y="EP", sample_size=5000)
+
+        verdict = UniformAQPEngine(sample_size=5000, random_seed=3)
+        verdict.register_table(table)
+        verdict.prepare_table("ccpp")
+
+        online = OnlineAQPEngine(sample_size=5000, random_seed=3)
+        online.register_table(table)
+
+        workload = generate_range_queries(
+            table, [("T", "EP")], n_per_aggregate=4,
+            aggregates=("COUNT", "SUM", "AVG"), range_fraction=0.05,
+            seed=17, anchor="data",
+        )
+        runs = compare_engines(
+            {"DBEst": dbest, "VerdictDB": verdict, "Online": online},
+            workload,
+            truth,
+        )
+        for run in runs.values():
+            assert run.mean_relative_error() < 0.2
+        # DBEst's state is models; the sample engine holds rows; online none.
+        assert dbest.state_size_bytes() > 0
+        assert verdict.state_size_bytes() > dbest.state_size_bytes() / 10
+        assert online.state_size_bytes() == 0
+
+
+class TestEndToEndDeterminism:
+    def test_same_seed_same_answers(self, tmp_path):
+        table = generate_ccpp(30_000, seed=5)
+
+        def build_and_query() -> float:
+            engine = DBEst(config=DBEstConfig(regressor="plr", random_seed=42))
+            engine.register_table(table)
+            engine.build_model("ccpp", x="T", y="EP", sample_size=3000)
+            return engine.execute(
+                "SELECT SUM(EP) FROM ccpp WHERE T BETWEEN 8 AND 18;"
+            ).scalar()
+
+        assert build_and_query() == pytest.approx(build_and_query(), rel=1e-12)
+
+    def test_catalog_roundtrip_is_bit_identical(self, tmp_path):
+        table = generate_ccpp(30_000, seed=5)
+        engine = DBEst(config=DBEstConfig(regressor="plr", random_seed=42))
+        engine.register_table(table)
+        engine.build_model("ccpp", x="T", y="EP", sample_size=3000)
+        sql = "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 8 AND 18;"
+        before = engine.execute(sql).scalar()
+        path = tmp_path / "cat.pkl"
+        engine.catalog.save(path)
+        restored = DBEst()
+        restored.catalog = ModelCatalog.load(path)
+        assert restored.execute(sql).scalar() == before

@@ -1,0 +1,172 @@
+"""Unit tests for the kernel density estimators."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import InvalidParameterError, ModelTrainingError
+from repro.ml import KernelDensityEstimator, MultivariateKDE, scott_bandwidth
+from repro.ml.kde import silverman_bandwidth
+
+
+@pytest.fixture
+def normal_sample(rng):
+    return rng.normal(10.0, 2.0, size=20_000)
+
+
+class TestBandwidthRules:
+    def test_scott_positive(self, normal_sample):
+        assert scott_bandwidth(normal_sample) > 0
+
+    def test_scott_scales_with_std(self, rng):
+        narrow = rng.normal(0, 1, 1000)
+        wide = narrow * 10.0
+        assert scott_bandwidth(wide) == pytest.approx(
+            10.0 * scott_bandwidth(narrow)
+        )
+
+    def test_silverman_positive(self, normal_sample):
+        assert silverman_bandwidth(normal_sample) > 0
+
+    def test_constant_data_does_not_crash(self):
+        constant = np.full(100, 5.0)
+        assert scott_bandwidth(constant) > 0
+        assert silverman_bandwidth(constant) > 0
+
+
+class TestKDEFitting:
+    def test_unfitted_raises(self):
+        kde = KernelDensityEstimator()
+        with pytest.raises(ModelTrainingError):
+            kde.pdf(0.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ModelTrainingError):
+            KernelDensityEstimator().fit(np.asarray([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ModelTrainingError):
+            KernelDensityEstimator().fit(np.asarray([1.0, np.nan]))
+
+    def test_unknown_bandwidth_rule(self):
+        with pytest.raises(InvalidParameterError):
+            KernelDensityEstimator(bandwidth="magic")
+
+    def test_negative_bandwidth(self):
+        with pytest.raises(InvalidParameterError):
+            KernelDensityEstimator(bandwidth=-1.0)
+
+    def test_explicit_float_bandwidth(self, normal_sample):
+        kde = KernelDensityEstimator(bandwidth=0.5).fit(normal_sample)
+        assert kde.h == 0.5
+
+    def test_binned_path_engages(self, normal_sample):
+        kde = KernelDensityEstimator(binned=True, bin_threshold=1000).fit(
+            normal_sample
+        )
+        assert kde._centres.shape[0] <= kde.n_bins
+
+    def test_exact_path_keeps_all_points(self, rng):
+        x = rng.normal(size=500)
+        kde = KernelDensityEstimator(bin_threshold=5000).fit(x)
+        assert kde._centres.shape[0] == 500
+
+
+class TestKDEAccuracy:
+    def test_integrates_to_one(self, normal_sample):
+        kde = KernelDensityEstimator().fit(normal_sample)
+        lo, hi = kde.support
+        assert kde.integrate(lo, hi) == pytest.approx(1.0, abs=1e-3)
+
+    def test_pdf_close_to_true_normal(self, normal_sample):
+        kde = KernelDensityEstimator().fit(normal_sample)
+        xs = np.linspace(5.0, 15.0, 21)
+        true_pdf = stats.norm(10.0, 2.0).pdf(xs)
+        np.testing.assert_allclose(kde.pdf(xs), true_pdf, rtol=0.15)
+
+    def test_cdf_close_to_true_normal(self, normal_sample):
+        kde = KernelDensityEstimator().fit(normal_sample)
+        xs = np.asarray([8.0, 10.0, 12.0])
+        true_cdf = stats.norm(10.0, 2.0).cdf(xs)
+        np.testing.assert_allclose(kde.cdf(xs), true_cdf, atol=0.02)
+
+    def test_cdf_monotone(self, normal_sample):
+        kde = KernelDensityEstimator().fit(normal_sample)
+        xs = np.linspace(0.0, 20.0, 100)
+        assert np.all(np.diff(kde.cdf(xs)) >= 0)
+
+    def test_integrate_matches_cdf_difference(self, normal_sample):
+        kde = KernelDensityEstimator().fit(normal_sample)
+        direct = kde.integrate(8.0, 12.0)
+        via_cdf = float(kde.cdf(np.asarray([12.0]))[0] - kde.cdf(np.asarray([8.0]))[0])
+        assert direct == pytest.approx(via_cdf)
+
+    def test_integrate_reversed_bounds(self, normal_sample):
+        kde = KernelDensityEstimator().fit(normal_sample)
+        with pytest.raises(InvalidParameterError):
+            kde.integrate(12.0, 8.0)
+
+    def test_binned_matches_exact(self, rng):
+        x = rng.normal(0.0, 1.0, size=20_000)
+        binned = KernelDensityEstimator(binned=True, bin_threshold=100).fit(x)
+        exact = KernelDensityEstimator(binned=False).fit(x)
+        xs = np.linspace(-3, 3, 31)
+        np.testing.assert_allclose(binned.pdf(xs), exact.pdf(xs), rtol=0.02)
+
+    def test_bimodal_distribution(self, rng):
+        x = np.concatenate([rng.normal(-5, 1, 5000), rng.normal(5, 1, 5000)])
+        kde = KernelDensityEstimator().fit(x)
+        # Density at the trough should be far below the modes.
+        trough = kde.pdf(np.asarray([0.0]))[0]
+        mode = kde.pdf(np.asarray([5.0]))[0]
+        assert trough < 0.1 * mode
+
+    def test_sampling_from_fit(self, normal_sample, rng):
+        kde = KernelDensityEstimator().fit(normal_sample)
+        draws = kde.sample(5000, rng=rng)
+        assert abs(draws.mean() - 10.0) < 0.2
+        assert abs(draws.std() - 2.0) < 0.2
+
+
+class TestMultivariateKDE:
+    def test_fit_requires_2d(self, rng):
+        with pytest.raises(ModelTrainingError):
+            MultivariateKDE().fit(rng.normal(size=100))
+
+    def test_box_integral_total_mass(self, rng):
+        x = rng.normal(0.0, 1.0, size=(10_000, 2))
+        kde = MultivariateKDE().fit(x)
+        total = kde.integrate_box(np.asarray([-8.0, -8.0]), np.asarray([8.0, 8.0]))
+        assert total == pytest.approx(1.0, abs=1e-2)
+
+    def test_box_integral_independent_factorises(self, rng):
+        x = rng.normal(0.0, 1.0, size=(20_000, 2))
+        kde = MultivariateKDE().fit(x)
+        joint = kde.integrate_box(np.asarray([-1.0, -1.0]), np.asarray([1.0, 1.0]))
+        # For independent standard normals the box mass factorises.
+        p = stats.norm.cdf(1.0) - stats.norm.cdf(-1.0)
+        assert joint == pytest.approx(p * p, abs=0.03)
+
+    def test_pdf_positive(self, rng):
+        x = rng.normal(size=(2000, 2))
+        kde = MultivariateKDE().fit(x)
+        assert np.all(kde.pdf(np.zeros((5, 2))) > 0)
+
+    def test_bad_box_shape_rejected(self, rng):
+        kde = MultivariateKDE().fit(rng.normal(size=(500, 2)))
+        with pytest.raises(InvalidParameterError):
+            kde.integrate_box(np.zeros(3), np.ones(3))
+
+    def test_reversed_box_rejected(self, rng):
+        kde = MultivariateKDE().fit(rng.normal(size=(500, 2)))
+        with pytest.raises(InvalidParameterError):
+            kde.integrate_box(np.ones(2), np.zeros(2))
+
+    def test_binned_matches_exact_2d(self, rng):
+        x = rng.normal(0.0, 1.0, size=(8000, 2))
+        binned = MultivariateKDE(binned=True, bin_threshold=100).fit(x)
+        exact = MultivariateKDE(binned=False).fit(x)
+        box_lo, box_hi = np.asarray([-1.0, 0.0]), np.asarray([1.0, 2.0])
+        assert binned.integrate_box(box_lo, box_hi) == pytest.approx(
+            exact.integrate_box(box_lo, box_hi), abs=0.02
+        )

@@ -1,0 +1,178 @@
+"""Unit tests for linear models, the classifier, and the ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelTrainingError
+from repro.ml import (
+    DecisionTreeClassifier,
+    EnsembleRegressor,
+    GradientBoostingRegressor,
+    LinearRegressor,
+    PiecewiseLinearRegressor,
+)
+
+
+class TestLinearRegressor:
+    def test_recovers_coefficients(self, rng):
+        x = rng.uniform(0, 10, size=2000)
+        y = 3.0 * x + 7.0
+        model = LinearRegressor().fit(x, y)
+        assert model.intercept == pytest.approx(7.0, abs=1e-6)
+        assert model.slope[0] == pytest.approx(3.0, abs=1e-6)
+
+    def test_multivariate(self, rng):
+        X = rng.uniform(size=(2000, 2))
+        y = 1.0 + 2.0 * X[:, 0] - 3.0 * X[:, 1]
+        model = LinearRegressor().fit(X, y)
+        np.testing.assert_allclose(model.slope, [2.0, -3.0], atol=1e-6)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelTrainingError):
+            LinearRegressor().predict(np.zeros(3))
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ModelTrainingError):
+            LinearRegressor().fit(rng.uniform(size=10), np.zeros(4))
+
+
+class TestPiecewiseLinear:
+    def test_fits_kinked_function(self, rng):
+        x = rng.uniform(0, 10, size=5000)
+        y = np.where(x < 5, x, 5.0 + 3.0 * (x - 5.0))  # slope change at 5
+        model = PiecewiseLinearRegressor(n_knots=8).fit(x, y)
+        grid = np.asarray([1.0, 4.0, 6.0, 9.0])
+        expected = np.where(grid < 5, grid, 5.0 + 3.0 * (grid - 5.0))
+        np.testing.assert_allclose(model.predict(grid), expected, atol=0.2)
+
+    def test_beats_plain_linear_on_nonlinear_target(self, rng):
+        x = rng.uniform(0, 2 * np.pi, size=3000)
+        y = np.sin(x)
+        plr = PiecewiseLinearRegressor(n_knots=10).fit(x, y)
+        ols = LinearRegressor().fit(x, y)
+        assert np.mean((plr.predict(x) - y) ** 2) < np.mean(
+            (ols.predict(x) - y) ** 2
+        )
+
+    def test_rejects_multivariate(self, rng):
+        with pytest.raises(ModelTrainingError):
+            PiecewiseLinearRegressor().fit(rng.uniform(size=(100, 2)), np.zeros(100))
+
+    def test_accepts_column_vector(self, rng):
+        x = rng.uniform(size=(200, 1))
+        model = PiecewiseLinearRegressor(n_knots=3).fit(x, x[:, 0])
+        assert model.is_fitted
+
+    def test_continuity(self, rng):
+        x = rng.uniform(0, 10, size=3000)
+        y = np.abs(x - 5.0)
+        model = PiecewiseLinearRegressor(n_knots=6).fit(x, y)
+        grid = np.linspace(0.5, 9.5, 500)
+        pred = model.predict(grid)
+        # A linear spline has bounded increments on a fine grid.
+        assert np.max(np.abs(np.diff(pred))) < 0.2
+
+
+class TestClassifier:
+    def test_learns_threshold_rule(self, rng):
+        X = rng.uniform(size=(2000, 1))
+        y = np.where(X[:, 0] < 0.5, "low", "high")
+        clf = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        pred = clf.predict(np.asarray([[0.1], [0.9]]))
+        assert pred[0] == "low"
+        assert pred[1] == "high"
+
+    def test_learns_2d_quadrant_rule(self, rng):
+        X = rng.uniform(-1, 1, size=(4000, 2))
+        y = (X[:, 0] > 0).astype(int) * 2 + (X[:, 1] > 0).astype(int)
+        clf = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        accuracy = float(np.mean(clf.predict(X) == y))
+        assert accuracy > 0.95
+
+    def test_pure_node_stops_early(self):
+        X = np.asarray([[0.0], [1.0], [2.0]])
+        y = np.asarray([1, 1, 1])
+        clf = DecisionTreeClassifier().fit(X, y)
+        assert clf.predict(np.asarray([[5.0]]))[0] == 1
+
+    def test_integer_and_string_labels(self, rng):
+        X = rng.uniform(size=(200, 1))
+        clf = DecisionTreeClassifier().fit(X, np.repeat(["a", "b"], 100))
+        assert set(clf.classes_) == {"a", "b"}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelTrainingError):
+            DecisionTreeClassifier().predict(np.zeros((2, 1)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelTrainingError):
+            DecisionTreeClassifier().fit(np.empty((0, 1)), np.asarray([]))
+
+
+class TestEnsemble:
+    def test_fits_and_routes(self, rng):
+        x = rng.uniform(0, 10, size=4000)
+        y = np.sin(x) * x
+        ensemble = EnsembleRegressor(n_eval_queries=30, random_state=5).fit(x, y)
+        assert set(ensemble.constituent_names) == {"gboost", "xgboost", "plr"}
+        name = ensemble.select(2.0, 4.0)
+        assert name in ensemble.constituent_names
+
+    def test_prediction_quality(self, rng):
+        x = rng.uniform(0, 10, size=4000)
+        y = 2.0 * x + 1.0 + rng.normal(0, 0.1, size=4000)
+        ensemble = EnsembleRegressor(n_eval_queries=20, random_state=5).fit(x, y)
+        grid = np.linspace(1, 9, 40)
+        np.testing.assert_allclose(
+            ensemble.predict(grid, lb=1.0, ub=9.0), 2.0 * grid + 1.0, atol=0.5
+        )
+
+    def test_select_without_range_uses_default(self, rng):
+        x = rng.uniform(size=2000)
+        y = x**2
+        ensemble = EnsembleRegressor(n_eval_queries=20, random_state=5).fit(x, y)
+        assert ensemble.select() == ensemble._default_name
+
+    def test_custom_constituents(self, rng):
+        from functools import partial
+
+        x = rng.uniform(size=1000)
+        y = 3 * x
+        ensemble = EnsembleRegressor(
+            constituents={
+                "gbm_small": partial(GradientBoostingRegressor, n_estimators=10)
+            },
+            n_eval_queries=10,
+            random_state=5,
+        ).fit(x, y)
+        assert ensemble.constituent_names == ["gbm_small"]
+        assert ensemble.select(0.1, 0.9) == "gbm_small"
+
+    def test_empty_constituents_rejected(self):
+        with pytest.raises(ModelTrainingError):
+            EnsembleRegressor(constituents={})
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelTrainingError):
+            EnsembleRegressor().select(0.0, 1.0)
+
+    def test_multivariate_falls_back_to_best_single(self, rng):
+        X = rng.uniform(size=(3000, 2))
+        y = X[:, 0] + X[:, 1]
+        ensemble = EnsembleRegressor(random_state=5).fit(X, y)
+        # PLR rejects multivariate input; tree models handle it.
+        assert "plr" not in ensemble.constituent_names
+        pred = ensemble.predict(np.asarray([[0.5, 0.5]]))
+        assert pred[0] == pytest.approx(1.0, abs=0.2)
+
+    def test_picklable_after_fit(self, rng):
+        import pickle
+
+        x = rng.uniform(size=1000)
+        ensemble = EnsembleRegressor(n_eval_queries=10, random_state=5).fit(
+            x, 2 * x
+        )
+        restored = pickle.loads(pickle.dumps(ensemble))
+        np.testing.assert_array_equal(
+            restored.predict(x[:10]), ensemble.predict(x[:10])
+        )

@@ -1,0 +1,209 @@
+"""Unit tests for the tree learners: CART, GBM, XGBoost-style."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, ModelTrainingError
+from repro.ml import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    XGBRegressor,
+)
+from repro.ml._histogram import BinnedFeatures, bin_codes, compute_bin_edges
+
+
+class TestBinnedFeatures:
+    def test_codes_within_range(self, rng):
+        x = rng.normal(size=(1000, 2))
+        binned = BinnedFeatures(x, max_bins=16)
+        for j in range(2):
+            assert binned.codes[:, j].max() <= binned.n_bins(j) - 1
+            assert binned.codes[:, j].min() >= 0
+
+    def test_constant_feature_has_no_edges(self):
+        binned = BinnedFeatures(np.full((100, 1), 3.0))
+        assert binned.n_bins(0) == 1
+
+    def test_threshold_semantics(self, rng):
+        """code <= s  <=>  value <= threshold(s)."""
+        x = rng.uniform(0, 1, size=1000)
+        edges = compute_bin_edges(x, 16)
+        codes = bin_codes(x, edges)
+        for s in range(len(edges)):
+            np.testing.assert_array_equal(codes <= s, x <= edges[s])
+
+    def test_1d_input_promoted(self, rng):
+        binned = BinnedFeatures(rng.normal(size=100))
+        assert binned.n_features == 1
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ModelTrainingError):
+            BinnedFeatures(np.asarray([1.0, np.inf]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelTrainingError):
+            BinnedFeatures(np.empty((0, 1)))
+
+
+class TestDecisionTree:
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelTrainingError):
+            DecisionTreeRegressor().predict(np.zeros(3))
+
+    def test_fits_step_function_exactly(self, rng):
+        x = rng.uniform(0, 1, size=2000)
+        y = np.where(x < 0.5, 1.0, 5.0)
+        tree = DecisionTreeRegressor(max_depth=2, min_samples_leaf=5).fit(x, y)
+        pred = tree.predict(np.asarray([0.2, 0.8]))
+        assert pred[0] == pytest.approx(1.0, abs=0.05)
+        assert pred[1] == pytest.approx(5.0, abs=0.05)
+
+    def test_depth_zero_predicts_mean(self, rng):
+        x = rng.uniform(size=500)
+        y = rng.normal(3.0, 1.0, size=500)
+        tree = DecisionTreeRegressor(max_depth=0).fit(x, y)
+        np.testing.assert_allclose(tree.predict(x), y.mean())
+        assert tree.n_leaves == 1
+
+    def test_min_samples_leaf_respected(self, rng):
+        x = rng.uniform(size=100)
+        y = x.copy()
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=40).fit(x, y)
+        # With 100 rows and min leaf 40, at most one split is possible.
+        assert tree.n_leaves <= 2
+
+    def test_constant_target_single_leaf(self, rng):
+        x = rng.uniform(size=200)
+        tree = DecisionTreeRegressor().fit(x, np.full(200, 2.0))
+        assert tree.n_leaves == 1
+        assert tree.predict(np.asarray([0.5]))[0] == pytest.approx(2.0)
+
+    def test_2d_features(self, rng):
+        X = rng.uniform(size=(3000, 2))
+        y = np.where(X[:, 1] < 0.5, -1.0, 1.0)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        pred = tree.predict(np.asarray([[0.5, 0.1], [0.5, 0.9]]))
+        assert pred[0] < 0 < pred[1]
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ModelTrainingError):
+            DecisionTreeRegressor().fit(rng.uniform(size=10), np.zeros(5))
+
+    def test_reduces_training_error_with_depth(self, rng):
+        x = rng.uniform(0, 10, size=5000)
+        y = np.sin(x)
+        shallow = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(x, y)
+        err_shallow = np.mean((shallow.predict(x) - y) ** 2)
+        err_deep = np.mean((deep.predict(x) - y) ** 2)
+        assert err_deep < err_shallow / 4
+
+
+class TestGradientBoosting:
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(InvalidParameterError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(InvalidParameterError):
+            GradientBoostingRegressor(subsample=1.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelTrainingError):
+            GradientBoostingRegressor().predict(np.zeros(3))
+
+    def test_fits_sine(self, rng):
+        x = rng.uniform(0, 2 * np.pi, size=5000)
+        y = np.sin(x) + rng.normal(0, 0.05, size=5000)
+        model = GradientBoostingRegressor(
+            n_estimators=80, learning_rate=0.2, max_depth=3
+        ).fit(x, y)
+        grid = np.linspace(0.5, 5.5, 50)
+        np.testing.assert_allclose(model.predict(grid), np.sin(grid), atol=0.12)
+
+    def test_more_stages_reduce_error(self, rng):
+        x = rng.uniform(0, 10, size=3000)
+        y = x**2
+        few = GradientBoostingRegressor(n_estimators=5).fit(x, y)
+        many = GradientBoostingRegressor(n_estimators=80).fit(x, y)
+        assert np.mean((many.predict(x) - y) ** 2) < np.mean(
+            (few.predict(x) - y) ** 2
+        )
+
+    def test_subsample_reproducible_with_seed(self, rng):
+        x = rng.uniform(size=2000)
+        y = np.sin(6 * x)
+        a = GradientBoostingRegressor(
+            n_estimators=20, subsample=0.5, random_state=7
+        ).fit(x, y)
+        b = GradientBoostingRegressor(
+            n_estimators=20, subsample=0.5, random_state=7
+        ).fit(x, y)
+        np.testing.assert_array_equal(a.predict(x), b.predict(x))
+
+    def test_staged_predict_progresses(self, rng):
+        x = rng.uniform(size=2000)
+        y = 4 * x
+        model = GradientBoostingRegressor(n_estimators=30).fit(x, y)
+        stages = list(model.staged_predict(x, every=10))
+        errors = [np.mean((s - y) ** 2) for s in stages]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_n_stages(self, rng):
+        model = GradientBoostingRegressor(n_estimators=12).fit(
+            rng.uniform(size=500), rng.normal(size=500)
+        )
+        assert model.n_stages == 12
+
+
+class TestXGB:
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            XGBRegressor(n_estimators=-1)
+        with pytest.raises(InvalidParameterError):
+            XGBRegressor(reg_lambda=-1.0)
+        with pytest.raises(InvalidParameterError):
+            XGBRegressor(gamma=-0.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelTrainingError):
+            XGBRegressor().predict(np.zeros(3))
+
+    def test_fits_sine(self, rng):
+        x = rng.uniform(0, 2 * np.pi, size=5000)
+        y = np.sin(x) + rng.normal(0, 0.05, size=5000)
+        model = XGBRegressor(
+            n_estimators=80, learning_rate=0.2, max_depth=3
+        ).fit(x, y)
+        grid = np.linspace(0.5, 5.5, 50)
+        np.testing.assert_allclose(model.predict(grid), np.sin(grid), atol=0.12)
+
+    def test_heavy_regularisation_flattens(self, rng):
+        x = rng.uniform(size=2000)
+        y = 10 * x
+        light = XGBRegressor(n_estimators=20, reg_lambda=0.1).fit(x, y)
+        heavy = XGBRegressor(n_estimators=20, reg_lambda=1e6).fit(x, y)
+        # Extreme L2 shrinks leaf weights towards 0 -> predictions near base.
+        spread_light = np.ptp(light.predict(x))
+        spread_heavy = np.ptp(heavy.predict(x))
+        assert spread_heavy < 0.05 * spread_light
+
+    def test_gamma_prunes_splits(self, rng):
+        x = rng.uniform(size=2000)
+        y = x + rng.normal(0, 0.01, size=2000)
+        free = XGBRegressor(n_estimators=1, gamma=0.0, max_depth=6).fit(x, y)
+        pruned = XGBRegressor(n_estimators=1, gamma=1e9, max_depth=6).fit(x, y)
+        n_free = len(free._trees[0].feature)
+        n_pruned = len(pruned._trees[0].feature)
+        assert n_pruned < n_free
+
+    def test_2d_features(self, rng):
+        X = rng.uniform(size=(4000, 2))
+        y = X[:, 0] + 2 * X[:, 1]
+        model = XGBRegressor(n_estimators=60, max_depth=4).fit(X, y)
+        pred = model.predict(np.asarray([[0.1, 0.1], [0.9, 0.9]]))
+        assert pred[0] < pred[1]
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ModelTrainingError):
+            XGBRegressor().fit(rng.uniform(size=10), np.zeros(7))

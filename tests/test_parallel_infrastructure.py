@@ -1,0 +1,176 @@
+"""Unit tests for the parallel infrastructure added for §4.7:
+chunking, persistent pools, BLAS capping, and process-mode throughput."""
+
+import numpy as np
+import pytest
+
+from repro import DBEst, DBEstConfig
+from repro.core.parallel import chunk_items, get_pool, limit_blas_threads
+from repro.errors import InvalidParameterError
+from repro.harness.timing import total_workload_time
+
+
+class TestChunking:
+    def test_even_split(self):
+        chunks = chunk_items(list(range(10)), 5)
+        assert [len(c) for c in chunks] == [2, 2, 2, 2, 2]
+
+    def test_remainder_spread(self):
+        chunks = chunk_items(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_items([1, 2], 10)
+        assert chunks == [[1], [2]]
+
+    def test_preserves_order(self):
+        chunks = chunk_items(list(range(17)), 4)
+        assert [x for chunk in chunks for x in chunk] == list(range(17))
+
+    def test_single_chunk(self):
+        assert chunk_items([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            chunk_items([1], 0)
+
+
+class TestPools:
+    def test_pool_reused(self):
+        a = get_pool("thread", 2)
+        b = get_pool("thread", 2)
+        assert a is b
+
+    def test_distinct_keys_distinct_pools(self):
+        assert get_pool("thread", 2) is not get_pool("thread", 3)
+
+    def test_invalid_mode(self):
+        with pytest.raises(InvalidParameterError):
+            get_pool("fibers", 2)
+
+    def test_too_small(self):
+        with pytest.raises(InvalidParameterError):
+            get_pool("thread", 1)
+
+
+class TestBlasCap:
+    def test_idempotent_and_boolean(self):
+        first = limit_blas_threads(1)
+        second = limit_blas_threads(1)
+        assert isinstance(first, bool)
+        # Once limited, stays reported as limited.
+        if first:
+            assert second is True
+
+
+class TestProcessParallelGroupBy:
+    @pytest.fixture
+    def engine(self, linear_table):
+        config = DBEstConfig(
+            regressor="plr", min_group_rows=20, random_seed=5,
+            parallel_mode="process",
+        )
+        engine = DBEst(config=config)
+        engine.register_table(linear_table)
+        engine.build_model("linear", x="x", y="y", sample_size=4000, group_by="g")
+        return engine
+
+    def test_process_mode_matches_sequential(self, engine):
+        sql = "SELECT g, SUM(y) FROM linear WHERE x BETWEEN 20 AND 80 GROUP BY g;"
+        engine.config.n_workers = 1
+        sequential = engine.execute(sql).groups()
+        engine.config.n_workers = 3
+        parallel = engine.execute(sql).groups()
+        assert set(sequential) == set(parallel)
+        for key in sequential:
+            assert parallel[key] == pytest.approx(sequential[key])
+
+    def test_thread_mode_matches_sequential(self, engine):
+        sql = "SELECT g, AVG(y) FROM linear WHERE x BETWEEN 20 AND 80 GROUP BY g;"
+        engine.config.n_workers = 1
+        sequential = engine.execute(sql).groups()
+        engine.config.parallel_mode = "thread"
+        engine.config.n_workers = 3
+        parallel = engine.execute(sql).groups()
+        for key in sequential:
+            assert parallel[key] == pytest.approx(sequential[key])
+
+
+class TestThroughputTiming:
+    @pytest.fixture
+    def engine(self, linear_table, fast_config):
+        engine = DBEst(config=fast_config)
+        engine.register_table(linear_table)
+        engine.build_model("linear", x="x", y="y", sample_size=2000)
+        return engine
+
+    @pytest.fixture
+    def queries(self):
+        return [
+            f"SELECT AVG(y) FROM linear WHERE x BETWEEN {a} AND {a + 10};"
+            for a in range(0, 80, 10)
+        ]
+
+    def test_sequential_positive(self, engine, queries):
+        assert total_workload_time(engine, queries, n_processes=1) > 0
+
+    def test_thread_mode(self, engine, queries):
+        assert total_workload_time(
+            engine, queries, n_processes=2, mode="thread"
+        ) > 0
+
+    def test_process_mode_runs(self, engine, queries):
+        elapsed = total_workload_time(
+            engine, queries, n_processes=2, mode="process"
+        )
+        assert elapsed > 0
+
+
+class TestRawGroupScaling:
+    def test_population_scale_applies_to_count_and_sum(self):
+        from repro.core.groupby import RawGroup
+        from repro.sql.ast import AggregateCall
+
+        raw = RawGroup(
+            np.asarray([1.0, 2.0, 3.0]),
+            np.asarray([10.0, 20.0, 30.0]),
+            population_scale=4.0,
+        )
+        ranges = {"x": (0.0, 10.0)}
+        assert raw.answer(AggregateCall("COUNT", "y"), ranges, ("x",)) == 12.0
+        assert raw.answer(AggregateCall("SUM", "y"), ranges, ("x",)) == 240.0
+        # Ratio statistics are scale-free.
+        assert raw.answer(AggregateCall("AVG", "y"), ranges, ("x",)) == 20.0
+
+    def test_join_groupby_counts_scale_to_population(self, rng):
+        from repro import Table
+
+        fact = Table(
+            {
+                "k": rng.integers(1, 6, size=30_000).astype(np.int64),
+                "m": rng.normal(10.0, 1.0, size=30_000),
+            },
+            name="fact",
+        )
+        dim = Table(
+            {
+                "k": np.arange(1, 6, dtype=np.int64),
+                "attr": np.linspace(0.0, 100.0, 5),
+            },
+            name="dim",
+        )
+        engine = DBEst(
+            config=DBEstConfig(regressor="plr", min_group_rows=30, random_seed=5)
+        )
+        engine.register_table(fact)
+        engine.register_table(dim)
+        engine.build_join_model(
+            "fact", "dim", "k", "k", x="attr", y="m",
+            sample_size=3000, group_by="k",
+        )
+        sql = (
+            "SELECT k, COUNT(m) FROM fact JOIN dim ON k = k "
+            "WHERE attr BETWEEN 0 AND 100 GROUP BY k;"
+        )
+        groups = engine.execute(sql).groups()
+        assert sum(groups.values()) == pytest.approx(30_000, rel=0.1)

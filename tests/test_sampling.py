@@ -1,0 +1,185 @@
+"""Unit tests for the sampling substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sampling import (
+    bernoulli_sample_indices,
+    hash_sample_mask,
+    hash_sample_table,
+    reservoir_sample_indices,
+    reservoir_sample_stream,
+    reservoir_sample_table,
+    stratified_sample_indices,
+    stratified_sample_table,
+    uniform_sample_indices,
+    uniform_sample_table,
+)
+from repro.storage import Table
+
+
+class TestReservoirStream:
+    def test_exact_size(self, rng):
+        sample = reservoir_sample_stream(range(1000), 50, rng=rng)
+        assert len(sample) == 50
+
+    def test_short_stream_returns_all(self, rng):
+        sample = reservoir_sample_stream(range(10), 50, rng=rng)
+        assert sorted(sample) == list(range(10))
+
+    def test_items_come_from_stream(self, rng):
+        sample = reservoir_sample_stream(range(1000), 64, rng=rng)
+        assert all(0 <= item < 1000 for item in sample)
+        assert len(set(sample)) == 64  # no duplicates from a duplicate-free stream
+
+    def test_uniformity(self):
+        # Each of 100 items should appear in a 10-sample about 10% of runs.
+        counts = np.zeros(100)
+        for seed in range(400):
+            rng = np.random.default_rng(seed)
+            for item in reservoir_sample_stream(range(100), 10, rng=rng):
+                counts[item] += 1
+        frequencies = counts / 400.0
+        assert abs(frequencies.mean() - 0.10) < 0.005
+        assert frequencies.min() > 0.04
+        assert frequencies.max() < 0.18
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(InvalidParameterError):
+            reservoir_sample_stream(range(10), 0, rng=rng)
+
+
+class TestReservoirIndices:
+    def test_size_and_sorted(self, rng):
+        indices = reservoir_sample_indices(1000, 100, rng=rng)
+        assert indices.shape == (100,)
+        assert np.all(np.diff(indices) > 0)
+
+    def test_k_ge_n_returns_all(self, rng):
+        indices = reservoir_sample_indices(10, 100, rng=rng)
+        np.testing.assert_array_equal(indices, np.arange(10))
+
+    def test_table_sampling(self, linear_table, rng):
+        sample = reservoir_sample_table(linear_table, 500, rng=rng)
+        assert sample.n_rows == 500
+        assert sample.column_names == linear_table.column_names
+
+    def test_sample_mean_close_to_population(self, linear_table, rng):
+        sample = reservoir_sample_table(linear_table, 2000, rng=rng)
+        assert abs(sample["y"].mean() - linear_table["y"].mean()) < 5.0
+
+    def test_negative_population(self, rng):
+        with pytest.raises(InvalidParameterError):
+            reservoir_sample_indices(-1, 10, rng=rng)
+
+
+class TestUniform:
+    def test_without_replacement(self, rng):
+        indices = uniform_sample_indices(100, 50, rng=rng)
+        assert len(set(indices.tolist())) == 50
+
+    def test_table_name_suffix(self, linear_table, rng):
+        assert uniform_sample_table(linear_table, 10, rng=rng).name.endswith(
+            "_sample"
+        )
+
+    def test_bernoulli_fraction(self, rng):
+        indices = bernoulli_sample_indices(100_000, 0.1, rng=rng)
+        assert 0.08 < indices.shape[0] / 100_000 < 0.12
+
+    def test_bernoulli_invalid_fraction(self, rng):
+        with pytest.raises(InvalidParameterError):
+            bernoulli_sample_indices(100, 0.0, rng=rng)
+        with pytest.raises(InvalidParameterError):
+            bernoulli_sample_indices(100, 1.5, rng=rng)
+
+
+class TestStratified:
+    def test_cap_respected(self, rng):
+        strata = np.repeat([1, 2, 3], [100, 50, 5])
+        indices = stratified_sample_indices(strata, 10, rng=rng)
+        values, counts = np.unique(strata[indices], return_counts=True)
+        assert counts[values == 1][0] == 10
+        assert counts[values == 2][0] == 10
+        assert counts[values == 3][0] == 5  # small stratum kept whole
+
+    def test_every_stratum_represented(self, rng):
+        strata = np.repeat(np.arange(20), 100)
+        indices = stratified_sample_indices(strata, 3, rng=rng)
+        assert np.unique(strata[indices]).shape[0] == 20
+
+    def test_rare_group_guaranteed_vs_uniform(self, rng):
+        # The motivating property: a 0.1% group survives stratification.
+        strata = np.concatenate([np.zeros(99_900), np.ones(100)])
+        indices = stratified_sample_indices(strata, 50, rng=rng)
+        assert (strata[indices] == 1).sum() == 50
+
+    def test_table_api(self, linear_table, rng):
+        sample = stratified_sample_table(linear_table, "g", 100, rng=rng)
+        values, counts = np.unique(sample["g"], return_counts=True)
+        assert (counts <= 100).all()
+
+    def test_invalid_cap(self, rng):
+        with pytest.raises(InvalidParameterError):
+            stratified_sample_indices(np.zeros(10), 0, rng=rng)
+
+    def test_empty_strata(self, rng):
+        indices = stratified_sample_indices(np.asarray([]), 5, rng=rng)
+        assert indices.shape == (0,)
+
+
+class TestHashed:
+    def test_deterministic(self):
+        keys = np.arange(1000)
+        mask_a = hash_sample_mask(keys, 0.3)
+        mask_b = hash_sample_mask(keys, 0.3)
+        np.testing.assert_array_equal(mask_a, mask_b)
+
+    def test_same_key_same_decision(self):
+        keys = np.asarray([7, 7, 7, 13, 13])
+        mask = hash_sample_mask(keys, 0.5)
+        assert mask[0] == mask[1] == mask[2]
+        assert mask[3] == mask[4]
+
+    def test_fraction_roughly_honoured(self):
+        keys = np.arange(100_000)
+        mask = hash_sample_mask(keys, 0.2)
+        assert 0.18 < mask.mean() < 0.22
+
+    def test_join_preserving(self):
+        # Both sides sampled with the same (fraction, seed) keep matching keys.
+        left_keys = np.arange(0, 1000)
+        right_keys = np.arange(500, 1500)
+        left_mask = hash_sample_mask(left_keys, 0.3, seed=5)
+        right_mask = hash_sample_mask(right_keys, 0.3, seed=5)
+        shared = np.arange(500, 1000)
+        left_kept = set(left_keys[left_mask].tolist()) & set(shared.tolist())
+        right_kept = set(right_keys[right_mask].tolist()) & set(shared.tolist())
+        assert left_kept == right_kept
+
+    def test_different_seed_different_sample(self):
+        keys = np.arange(10_000)
+        mask_a = hash_sample_mask(keys, 0.3, seed=1)
+        mask_b = hash_sample_mask(keys, 0.3, seed=2)
+        assert not np.array_equal(mask_a, mask_b)
+
+    def test_float_and_string_keys(self):
+        floats = np.asarray([1.5, 2.5, 1.5])
+        mask = hash_sample_mask(floats, 0.5)
+        assert mask[0] == mask[2]
+        strings = np.asarray(["a", "b", "a"])
+        mask = hash_sample_mask(strings, 0.5)
+        assert mask[0] == mask[2]
+
+    def test_table_api(self, linear_table):
+        sample = hash_sample_table(linear_table, "g", 0.5)
+        kept = set(np.unique(sample["g"]).tolist())
+        dropped = set(np.unique(linear_table["g"]).tolist()) - kept
+        # Every key is fully kept or fully dropped.
+        for value in dropped:
+            assert (sample["g"] == value).sum() == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(InvalidParameterError):
+            hash_sample_mask(np.arange(10), 0.0)

@@ -1,0 +1,239 @@
+"""Unit tests for the SQL front end: lexer, parser, validator."""
+
+import pytest
+
+from repro.errors import (
+    SQLSyntaxError,
+    UnknownColumnError,
+    UnknownTableError,
+    UnsupportedQueryError,
+)
+from repro.sql import parse_query, validate_query
+from repro.sql.ast import AggregateCall, Query
+from repro.sql.lexer import tokenize
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.kind for t in tokens] == ["KEYWORD"] * 3
+        assert [t.value for t in tokens] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("ss_list_price MixedCase")
+        assert [t.value for t in tokens] == ["ss_list_price", "MixedCase"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 -3 1e4 2.5e-3 .5")
+        assert all(t.kind == "NUMBER" for t in tokens)
+        assert float(tokens[3].value) == 1e4
+
+    def test_strings(self):
+        tokens = tokenize("'hello' \"world\"")
+        assert [t.value for t in tokens] == ["hello", "world"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_symbols(self):
+        tokens = tokenize("(),=;*.")
+        assert all(t.kind == "SYMBOL" for t in tokens)
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+
+class TestParserBasics:
+    def test_simple_aggregate(self):
+        q = parse_query(
+            "SELECT AVG(y) FROM t WHERE x BETWEEN 1 AND 2;"
+        )
+        assert q.table == "t"
+        assert q.aggregates == [AggregateCall("AVG", "y")]
+        assert q.ranges[0].column == "x"
+        assert (q.ranges[0].low, q.ranges[0].high) == (1.0, 2.0)
+
+    def test_count_star(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE x BETWEEN 0 AND 1;")
+        assert q.aggregates[0].column is None
+
+    def test_percentile(self):
+        q = parse_query("SELECT PERCENTILE(x, 0.9) FROM t;")
+        assert q.aggregates[0].parameter == 0.9
+
+    def test_percentile_missing_p(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT PERCENTILE(x) FROM t;")
+
+    def test_multiple_aggregates(self):
+        q = parse_query(
+            "SELECT COUNT(z), SUM(z), AVG(z) FROM t WHERE y BETWEEN 0 AND 9;"
+        )
+        assert [a.func for a in q.aggregates] == ["COUNT", "SUM", "AVG"]
+
+    def test_group_by(self):
+        q = parse_query(
+            "SELECT g, SUM(y) FROM t WHERE x BETWEEN 1 AND 2 GROUP BY g;"
+        )
+        assert q.group_by == "g"
+        assert q.select_columns == ["g"]
+
+    def test_multivariate_ranges(self):
+        q = parse_query(
+            "SELECT AVG(y) FROM t WHERE x1 BETWEEN 0 AND 1 AND x2 BETWEEN 2 AND 3;"
+        )
+        assert len(q.ranges) == 2
+        assert {r.column for r in q.ranges} == {"x1", "x2"}
+
+    def test_equality_predicate(self):
+        q = parse_query("SELECT AVG(y) FROM t WHERE x BETWEEN 0 AND 1 AND g = 3;")
+        assert q.equalities[0].column == "g"
+        assert q.equalities[0].value == 3
+
+    def test_string_equality(self):
+        q = parse_query("SELECT COUNT(y) FROM t WHERE city = 'Beijing';")
+        assert q.equalities[0].value == "Beijing"
+
+    def test_join(self):
+        q = parse_query(
+            "SELECT AVG(p) FROM sales JOIN store ON ss_sk = s_sk "
+            "WHERE e BETWEEN 10 AND 20;"
+        )
+        assert q.joins[0].table == "store"
+        assert q.joins[0].left_key == "ss_sk"
+        assert q.joins[0].right_key == "s_sk"
+
+    def test_qualified_names_collapsed(self):
+        q = parse_query(
+            "SELECT AVG(t.y) FROM t WHERE t.x BETWEEN 1 AND 2;"
+        )
+        assert q.aggregates[0].column == "y"
+        assert q.ranges[0].column == "x"
+
+    def test_no_trailing_semicolon_ok(self):
+        q = parse_query("SELECT SUM(y) FROM t WHERE x BETWEEN 1 AND 2")
+        assert q.table == "t"
+
+    def test_negative_bounds(self):
+        q = parse_query("SELECT AVG(y) FROM t WHERE x BETWEEN -5 AND -1;")
+        assert (q.ranges[0].low, q.ranges[0].high) == (-5.0, -1.0)
+
+
+class TestParserErrors:
+    def test_empty_query(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("")
+
+    def test_missing_from(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT AVG(y) WHERE x BETWEEN 1 AND 2;")
+
+    def test_reversed_between(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT AVG(y) FROM t WHERE x BETWEEN 5 AND 1;")
+
+    def test_no_aggregate(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT x FROM t;")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT AVG(y) FROM t; extra")
+
+    def test_avg_star_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT AVG(*) FROM t;")
+
+    def test_extra_argument_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT SUM(x, 2) FROM t;")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT AVG(y) FROM t WHERE x BETWEEN 1.0 AND 2.0;",
+            "SELECT g, SUM(y) FROM t WHERE x BETWEEN 0.0 AND 9.0 GROUP BY g;",
+            "SELECT COUNT(*) FROM t WHERE x BETWEEN -1.0 AND 1.0;",
+            "SELECT PERCENTILE(x, 0.5) FROM t;",
+        ],
+    )
+    def test_parse_render_parse(self, sql):
+        first = parse_query(sql)
+        second = parse_query(first.to_sql())
+        assert first.aggregates == second.aggregates
+        assert first.ranges == second.ranges
+        assert first.group_by == second.group_by
+        assert first.table == second.table
+
+
+class TestValidator:
+    def test_valid_query_passes(self):
+        validate_query(parse_query("SELECT AVG(y) FROM t WHERE x BETWEEN 1 AND 2;"))
+
+    def test_percentile_p_out_of_range(self):
+        q = parse_query("SELECT PERCENTILE(x, 0.5) FROM t;")
+        bad = Query(
+            aggregates=[AggregateCall("PERCENTILE", "x", 1.5)],
+            table="t",
+        )
+        with pytest.raises(UnsupportedQueryError):
+            validate_query(bad)
+        validate_query(q)  # the good one passes
+
+    def test_percentile_with_group_by_rejected(self):
+        q = parse_query(
+            "SELECT g, PERCENTILE(x, 0.5) FROM t WHERE x BETWEEN 0 AND 1 GROUP BY g;"
+        )
+        with pytest.raises(UnsupportedQueryError):
+            validate_query(q)
+
+    def test_bare_column_without_group_by(self):
+        q = Query(
+            aggregates=[AggregateCall("AVG", "y")],
+            table="t",
+            select_columns=["x"],
+        )
+        with pytest.raises(UnsupportedQueryError):
+            validate_query(q)
+
+    def test_selected_column_must_match_group_by(self):
+        q = parse_query(
+            "SELECT z, SUM(y) FROM t WHERE x BETWEEN 0 AND 1 GROUP BY g;"
+        )
+        with pytest.raises(UnsupportedQueryError):
+            validate_query(q)
+
+    def test_group_by_column_cannot_be_range_column(self):
+        q = parse_query(
+            "SELECT g, SUM(y) FROM t WHERE g BETWEEN 0 AND 1 GROUP BY g;"
+        )
+        with pytest.raises(UnsupportedQueryError):
+            validate_query(q)
+
+    def test_table_resolution(self, small_table):
+        q = parse_query("SELECT AVG(y) FROM small WHERE x BETWEEN 1 AND 2;")
+        validate_query(q, tables={"small": small_table})
+        with pytest.raises(UnknownTableError):
+            validate_query(q, tables={})
+
+    def test_column_resolution(self, small_table):
+        q = parse_query("SELECT AVG(nope) FROM small WHERE x BETWEEN 1 AND 2;")
+        with pytest.raises(UnknownColumnError):
+            validate_query(q, tables={"small": small_table})
+
+    def test_join_tables_resolved(self, small_table):
+        q = parse_query(
+            "SELECT AVG(y) FROM small JOIN other ON g = g2 "
+            "WHERE x BETWEEN 1 AND 2;"
+        )
+        with pytest.raises(UnknownTableError):
+            validate_query(q, tables={"small": small_table})

@@ -1,0 +1,93 @@
+"""Tests for one-sided comparison predicates (<, <=, >, >=)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import DBEst
+from repro.sql import parse_query
+from repro.sql.ast import merged_ranges
+
+
+class TestParsing:
+    def test_less_equal(self):
+        q = parse_query("SELECT AVG(y) FROM t WHERE x <= 5;")
+        assert q.ranges[0].high == 5.0
+        assert math.isinf(q.ranges[0].low)
+
+    def test_greater_equal(self):
+        q = parse_query("SELECT AVG(y) FROM t WHERE x >= 5;")
+        assert q.ranges[0].low == 5.0
+        assert math.isinf(q.ranges[0].high)
+
+    def test_strict_operators(self):
+        q = parse_query("SELECT AVG(y) FROM t WHERE x > 1 AND x < 9;")
+        merged = merged_ranges(q.ranges)
+        assert merged["x"] == (1.0, 9.0)
+
+    def test_mixed_with_between(self):
+        q = parse_query(
+            "SELECT AVG(y) FROM t WHERE x BETWEEN 0 AND 10 AND x >= 5;"
+        )
+        assert merged_ranges(q.ranges)["x"] == (5.0, 10.0)
+
+    def test_contradiction_yields_empty_interval(self):
+        q = parse_query("SELECT AVG(y) FROM t WHERE x >= 9 AND x <= 1;")
+        low, high = merged_ranges(q.ranges)["x"]
+        assert low > high
+
+    def test_round_trip_one_sided(self):
+        q = parse_query("SELECT AVG(y) FROM t WHERE x >= 5;")
+        again = parse_query(q.to_sql())
+        assert merged_ranges(again.ranges) == merged_ranges(q.ranges)
+
+    def test_comparison_on_two_columns(self):
+        q = parse_query("SELECT AVG(y) FROM t WHERE a >= 1 AND b <= 2;")
+        merged = merged_ranges(q.ranges)
+        assert set(merged) == {"a", "b"}
+
+
+class TestExecution:
+    @pytest.fixture
+    def engine(self, linear_table, fast_config):
+        engine = DBEst(config=fast_config)
+        engine.register_table(linear_table)
+        engine.build_model("linear", x="x", y="y", sample_size=3000)
+        return engine
+
+    def test_one_sided_count(self, engine, linear_table):
+        truth = float((linear_table["x"] >= 50.0).sum())
+        estimate = engine.execute(
+            "SELECT COUNT(y) FROM linear WHERE x >= 50;"
+        ).scalar()
+        assert estimate == pytest.approx(truth, rel=0.1)
+
+    def test_two_comparisons_equal_between(self, engine):
+        a = engine.execute(
+            "SELECT AVG(y) FROM linear WHERE x >= 20 AND x <= 60;"
+        ).scalar()
+        b = engine.execute(
+            "SELECT AVG(y) FROM linear WHERE x BETWEEN 20 AND 60;"
+        ).scalar()
+        assert a == pytest.approx(b)
+
+    def test_contradiction_selects_nothing(self, engine):
+        result = engine.execute(
+            "SELECT COUNT(y), SUM(y), AVG(y) FROM linear "
+            "WHERE x >= 90 AND x <= 10;"
+        )
+        assert result.values["COUNT(y)"] == 0.0
+        assert result.values["SUM(y)"] == 0.0
+        assert np.isnan(result.values["AVG(y)"])
+
+    def test_exact_engine_comparisons(self, truth_engine, linear_table):
+        result = truth_engine.execute(
+            "SELECT COUNT(y) FROM linear WHERE x > 50 AND x < 60;"
+        )
+        truth = float(
+            ((linear_table["x"] > 50.0) & (linear_table["x"] < 60.0)).sum()
+        )
+        # Exact engine applies each predicate separately; strict vs
+        # inclusive differs by measure-zero boundary rows only.
+        assert result.scalar() == pytest.approx(truth, abs=2)

@@ -1,0 +1,165 @@
+"""Unit tests for predicates, hash join, schema, and CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, SchemaMismatchError, StorageError
+from repro.storage import (
+    ColumnSchema,
+    Table,
+    TableSchema,
+    equality_mask,
+    evaluate_predicates,
+    hash_join,
+    range_mask,
+    read_csv,
+    write_csv,
+)
+
+
+class TestPredicates:
+    def test_range_mask_inclusive(self, small_table):
+        mask = range_mask(small_table, "x", 2.0, 4.0)
+        assert mask.sum() == 3  # BETWEEN is inclusive on both ends
+
+    def test_range_mask_reversed_bounds(self, small_table):
+        with pytest.raises(InvalidParameterError):
+            range_mask(small_table, "x", 4.0, 2.0)
+
+    def test_equality_mask(self, small_table):
+        mask = equality_mask(small_table, "g", 3)
+        assert mask.sum() == 4
+
+    def test_conjunction(self, small_table):
+        mask = evaluate_predicates(
+            small_table,
+            ranges=[("x", 2.0, 7.0)],
+            equalities=[("g", 3)],
+        )
+        assert mask.sum() == 3  # rows x in {5,6,7} with g==3
+
+    def test_no_predicates_all_true(self, small_table):
+        assert evaluate_predicates(small_table).all()
+
+    def test_empty_result(self, small_table):
+        mask = evaluate_predicates(small_table, ranges=[("x", 100.0, 200.0)])
+        assert mask.sum() == 0
+
+
+class TestHashJoin:
+    def test_inner_join_matches(self):
+        left = Table({"k": np.asarray([1, 2, 3]), "a": np.asarray([10, 20, 30])},
+                     name="l")
+        right = Table({"k": np.asarray([2, 3, 4]), "b": np.asarray([200, 300, 400])},
+                      name="r")
+        joined = hash_join(left, right, "k", "k")
+        assert joined.n_rows == 2
+        assert set(joined["k"].tolist()) == {2, 3}
+        assert set(joined.column_names) == {"k", "a", "b"}
+
+    def test_join_multiplicity(self):
+        left = Table({"k": np.asarray([1, 1]), "a": np.asarray([1, 2])}, name="l")
+        right = Table({"k": np.asarray([1, 1, 1]), "b": np.asarray([7, 8, 9])},
+                      name="r")
+        joined = hash_join(left, right, "k", "k")
+        assert joined.n_rows == 6  # 2 x 3 cross within key group
+
+    def test_join_row_alignment(self):
+        left = Table({"k": np.asarray([1, 2]), "a": np.asarray([10, 20])}, name="l")
+        right = Table({"k": np.asarray([2, 1]), "b": np.asarray([200, 100])},
+                      name="r")
+        joined = hash_join(left, right, "k", "k")
+        pairs = set(zip(joined["a"].tolist(), joined["b"].tolist()))
+        assert pairs == {(10, 100), (20, 200)}
+
+    def test_join_different_key_names(self):
+        left = Table({"lk": np.asarray([1, 2]), "a": np.asarray([1, 2])}, name="l")
+        right = Table({"rk": np.asarray([1, 2]), "b": np.asarray([3, 4])}, name="r")
+        joined = hash_join(left, right, "lk", "rk")
+        assert joined.n_rows == 2
+        assert "rk" not in joined.column_names
+
+    def test_join_collision_suffix(self):
+        left = Table({"k": np.asarray([1]), "v": np.asarray([1.0])}, name="l")
+        right = Table({"k": np.asarray([1]), "v": np.asarray([2.0])}, name="r")
+        joined = hash_join(left, right, "k", "k", suffix="_right")
+        assert "v_right" in joined.column_names
+
+    def test_join_empty_result(self):
+        left = Table({"k": np.asarray([1]), "a": np.asarray([1])}, name="l")
+        right = Table({"k": np.asarray([2]), "b": np.asarray([2])}, name="r")
+        assert hash_join(left, right, "k", "k").n_rows == 0
+
+    def test_join_matches_bruteforce(self, rng):
+        left_keys = rng.integers(0, 20, size=200)
+        right_keys = rng.integers(0, 20, size=150)
+        left = Table({"k": left_keys, "a": np.arange(200)}, name="l")
+        right = Table({"k": right_keys, "b": np.arange(150)}, name="r")
+        joined = hash_join(left, right, "k", "k")
+        expected = sum(
+            int((right_keys == key).sum()) for key in left_keys.tolist()
+        )
+        assert joined.n_rows == expected
+
+    def test_join_default_name(self):
+        left = Table({"k": np.asarray([1]), "a": np.asarray([1])}, name="l")
+        right = Table({"k": np.asarray([1]), "b": np.asarray([1])}, name="r")
+        assert hash_join(left, right, "k", "k").name == "l_join_r"
+
+
+class TestSchema:
+    def test_validate_accepts_matching(self):
+        schema = TableSchema("t", [ColumnSchema("a", "f"), ColumnSchema("b", "i")])
+        schema.validate({"a": np.zeros(3), "b": np.arange(3)})
+
+    def test_validate_rejects_missing_column(self):
+        schema = TableSchema("t", [ColumnSchema("a", "f")])
+        with pytest.raises(SchemaMismatchError):
+            schema.validate({"b": np.zeros(3)})
+
+    def test_validate_rejects_wrong_kind(self):
+        schema = TableSchema("t", [ColumnSchema("a", "i")])
+        with pytest.raises(SchemaMismatchError):
+            schema.validate({"a": np.zeros(3)})  # float into int column
+
+    def test_float_column_accepts_ints(self):
+        assert ColumnSchema("a", "f").matches(np.arange(3))
+
+    def test_column_lookup(self):
+        schema = TableSchema("t", [ColumnSchema("a"), ColumnSchema("b")])
+        assert schema.column("b").name == "b"
+        with pytest.raises(SchemaMismatchError):
+            schema.column("c")
+
+
+class TestCsvIO:
+    def test_roundtrip(self, small_table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(small_table, path)
+        back = read_csv(path, name="small")
+        assert back == small_table
+
+    def test_dtype_inference(self, tmp_path):
+        path = tmp_path / "mix.csv"
+        path.write_text("i,f,s\n1,1.5,a\n2,2.5,b\n")
+        table = read_csv(path)
+        assert table["i"].dtype.kind == "i"
+        assert table["f"].dtype.kind == "f"
+        assert table["s"].dtype.kind == "U"
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(StorageError):
+            read_csv(path)
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(StorageError):
+            read_csv(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mytable.csv"
+        path.write_text("a\n1\n")
+        assert read_csv(path).name == "mytable"

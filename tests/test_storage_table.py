@@ -1,0 +1,155 @@
+"""Unit tests for the columnar Table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    InvalidParameterError,
+    SchemaMismatchError,
+    UnknownColumnError,
+)
+from repro.storage import Table
+
+
+class TestConstruction:
+    def test_basic_columns(self, small_table):
+        assert small_table.n_rows == 8
+        assert small_table.column_names == ["x", "y", "g"]
+
+    def test_len(self, small_table):
+        assert len(small_table) == 8
+
+    def test_empty_table(self):
+        table = Table({"x": np.asarray([])}, name="empty")
+        assert table.n_rows == 0
+
+    def test_no_columns(self):
+        table = Table({}, name="none")
+        assert table.n_rows == 0
+        assert table.column_names == []
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            Table({"a": np.arange(3), "b": np.arange(4)})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            Table({"a": np.zeros((3, 2))})
+
+    def test_lists_are_converted(self):
+        table = Table({"a": [1, 2, 3]})
+        assert table["a"].dtype.kind in ("i", "u")
+
+    def test_schema_inferred(self, small_table):
+        kinds = {c.name: c.kind for c in small_table.schema.columns}
+        assert kinds == {"x": "f", "y": "f", "g": "i"}
+
+
+class TestAccess:
+    def test_getitem(self, small_table):
+        np.testing.assert_array_equal(
+            small_table["x"], np.asarray([1.0, 2, 3, 4, 5, 6, 7, 8])
+        )
+
+    def test_unknown_column_raises(self, small_table):
+        with pytest.raises(UnknownColumnError):
+            small_table["nope"]
+
+    def test_contains(self, small_table):
+        assert "x" in small_table
+        assert "nope" not in small_table
+
+    def test_iter_yields_column_names(self, small_table):
+        assert list(small_table) == ["x", "y", "g"]
+
+    def test_repr_mentions_name_and_rows(self, small_table):
+        text = repr(small_table)
+        assert "small" in text
+        assert "8" in text
+
+
+class TestDerivation:
+    def test_select_projects(self, small_table):
+        projected = small_table.select(["y"])
+        assert projected.column_names == ["y"]
+        assert projected.n_rows == 8
+
+    def test_select_missing_column(self, small_table):
+        with pytest.raises(UnknownColumnError):
+            small_table.select(["nope"])
+
+    def test_filter_mask(self, small_table):
+        filtered = small_table.filter(small_table["x"] > 5.0)
+        assert filtered.n_rows == 3
+        np.testing.assert_array_equal(filtered["x"], [6.0, 7.0, 8.0])
+
+    def test_filter_wrong_length_mask(self, small_table):
+        with pytest.raises(InvalidParameterError):
+            small_table.filter(np.asarray([True, False]))
+
+    def test_filter_non_bool_mask(self, small_table):
+        with pytest.raises(InvalidParameterError):
+            small_table.filter(np.arange(8))
+
+    def test_take_preserves_order_and_repeats(self, small_table):
+        taken = small_table.take(np.asarray([3, 0, 0]))
+        np.testing.assert_array_equal(taken["x"], [4.0, 1.0, 1.0])
+
+    def test_head(self, small_table):
+        assert small_table.head(3).n_rows == 3
+        assert small_table.head(100).n_rows == 8
+
+    def test_with_column_adds(self, small_table):
+        augmented = small_table.with_column("z", np.arange(8))
+        assert "z" in augmented
+        assert "z" not in small_table  # original untouched
+
+    def test_with_column_replaces(self, small_table):
+        replaced = small_table.with_column("x", np.zeros(8))
+        assert replaced["x"].sum() == 0.0
+
+    def test_rename(self, small_table):
+        renamed = small_table.rename({"x": "xx"})
+        assert "xx" in renamed
+        assert "x" not in renamed
+
+    def test_concat(self, small_table):
+        doubled = small_table.concat(small_table)
+        assert doubled.n_rows == 16
+
+    def test_concat_mismatched_columns(self, small_table):
+        other = small_table.select(["x"])
+        with pytest.raises(SchemaMismatchError):
+            small_table.concat(other)
+
+
+class TestSummaries:
+    def test_column_range(self, small_table):
+        assert small_table.column_range("x") == (1.0, 8.0)
+
+    def test_column_range_empty(self):
+        table = Table({"x": np.asarray([])})
+        with pytest.raises(InvalidParameterError):
+            table.column_range("x")
+
+    def test_distinct(self, small_table):
+        np.testing.assert_array_equal(small_table.distinct("g"), [1, 2, 3])
+
+    def test_to_rows(self, small_table):
+        rows = small_table.to_rows()
+        assert rows[0] == (1.0, 10.0, 1)
+        assert len(rows) == 8
+
+    def test_nbytes_positive(self, small_table):
+        assert small_table.nbytes() > 0
+
+    def test_equality(self, small_table):
+        same = Table(
+            {c: small_table[c].copy() for c in small_table.column_names},
+            name="other-name",
+        )
+        assert small_table == same
+
+    def test_inequality_different_values(self, small_table):
+        other = small_table.with_column("x", np.zeros(8))
+        assert small_table != other

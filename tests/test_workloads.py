@@ -1,0 +1,216 @@
+"""Unit tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.workloads import (
+    BEIJING_COLUMN_PAIRS,
+    CCPP_COLUMN_PAIRS,
+    TPCDS_COLUMN_PAIRS,
+    generate_beijing,
+    generate_ccpp,
+    generate_range_queries,
+    generate_store,
+    generate_store_sales,
+    generate_zipf_join_tables,
+    random_range,
+    zipf_probabilities,
+)
+from repro.sql import parse_query
+from repro.workloads.queries import generate_join_queries
+from repro.workloads.zipf import skewed_key_range, uniform_key_range
+
+
+class TestStoreSales:
+    def test_shape_and_columns(self):
+        table = generate_store_sales(10_000)
+        assert table.n_rows == 10_000
+        for x, y in TPCDS_COLUMN_PAIRS:
+            assert x in table and y in table
+
+    def test_57_stores_default(self):
+        table = generate_store_sales(50_000)
+        assert np.unique(table["ss_store_sk"]).shape[0] == 57
+
+    def test_store_popularity_skewed(self):
+        table = generate_store_sales(50_000)
+        _values, counts = np.unique(table["ss_store_sk"], return_counts=True)
+        assert counts.max() > 3 * counts.min()
+
+    def test_pricing_relations_hold(self):
+        table = generate_store_sales(20_000)
+        assert (table["ss_wholesale_cost"] <= table["ss_list_price"]).all()
+        assert (table["ss_sales_price"] <= table["ss_list_price"]).all()
+        np.testing.assert_allclose(
+            table["ss_net_paid"],
+            table["ss_quantity"] * table["ss_sales_price"],
+        )
+
+    def test_wholesale_correlated_with_list_price(self):
+        table = generate_store_sales(20_000)
+        corr = np.corrcoef(table["ss_list_price"], table["ss_wholesale_cost"])[0, 1]
+        assert corr > 0.8
+
+    def test_deterministic_with_seed(self):
+        assert generate_store_sales(1000, seed=5) == generate_store_sales(
+            1000, seed=5
+        )
+
+    def test_invalid_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            generate_store_sales(0)
+        with pytest.raises(InvalidParameterError):
+            generate_store_sales(10, n_stores=0)
+
+
+class TestStore:
+    def test_employee_range_matches_tpcds(self):
+        store = generate_store(57)
+        employees = store["s_number_of_employees"]
+        assert employees.min() >= 200
+        assert employees.max() <= 300
+
+    def test_join_key_unique(self):
+        store = generate_store(57)
+        assert np.unique(store["s_store_sk"]).shape[0] == 57
+
+
+class TestCCPP:
+    def test_columns_and_ranges(self):
+        table = generate_ccpp(20_000)
+        assert set(table.column_names) == {"T", "V", "AP", "RH", "EP"}
+        assert table["T"].min() >= 1.81 and table["T"].max() <= 37.11
+        assert table["EP"].min() >= 420.26 and table["EP"].max() <= 495.76
+
+    def test_ep_decreases_with_temperature(self):
+        table = generate_ccpp(20_000)
+        corr = np.corrcoef(table["T"], table["EP"])[0, 1]
+        assert corr < -0.8  # the UCI dataset shows a strong negative relation
+
+    def test_column_pairs_exist(self):
+        table = generate_ccpp(1000)
+        for x, y in CCPP_COLUMN_PAIRS:
+            assert x in table and y in table
+
+
+class TestBeijing:
+    def test_columns_and_ranges(self):
+        table = generate_beijing(20_000)
+        assert set(table.column_names) == {"DEWP", "TEMP", "PRES", "IWS", "PM25"}
+        assert table["PM25"].min() >= 0.0
+        assert table["PM25"].max() <= 994.0
+
+    def test_dew_point_below_temperature(self):
+        table = generate_beijing(10_000)
+        assert (table["DEWP"] <= table["TEMP"] + 1e-9).mean() > 0.99
+
+    def test_wind_disperses_pollution(self):
+        table = generate_beijing(30_000)
+        calm = table["PM25"][table["IWS"] < 10.0]
+        windy = table["PM25"][table["IWS"] > 100.0]
+        assert calm.mean() > 1.5 * windy.mean()
+
+    def test_column_pairs_exist(self):
+        table = generate_beijing(1000)
+        for x, y in BEIJING_COLUMN_PAIRS:
+            assert x in table and y in table
+
+
+class TestZipf:
+    def test_probabilities_normalised_and_decreasing(self):
+        p = zipf_probabilities(100, s=2.0)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(p) < 0)
+
+    def test_zipf_shape(self):
+        p = zipf_probabilities(10, s=2.0)
+        assert p[0] / p[1] == pytest.approx(4.0, rel=1e-6)  # (2/1)^2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            zipf_probabilities(0)
+        with pytest.raises(InvalidParameterError):
+            zipf_probabilities(10, s=0.5)
+
+    def test_join_tables_structure(self):
+        a, b = generate_zipf_join_tables(
+            n_dim_rows=1000, n_fact_rows=50_000, seed=3
+        )
+        assert set(a.column_names) == {"y", "x"}
+        assert set(b.column_names) == {"y", "z"}
+        lo, hi = skewed_key_range()
+        ulo, uhi = uniform_key_range()
+        keys = b["y"]
+        assert keys.min() >= lo
+        assert keys.max() <= uhi
+
+    def test_skewed_region_is_skewed(self):
+        _a, b = generate_zipf_join_tables(n_fact_rows=100_000, seed=3)
+        lo, hi = skewed_key_range()
+        skewed_keys = b["y"][(b["y"] >= lo) & (b["y"] <= hi)]
+        _values, counts = np.unique(skewed_keys, return_counts=True)
+        assert counts[0] > 10 * counts[5:].max()  # rank-1 key dominates
+
+    def test_uniform_region_is_uniform(self):
+        _a, b = generate_zipf_join_tables(n_fact_rows=100_000, seed=3)
+        ulo, uhi = uniform_key_range()
+        uniform_keys = b["y"][(b["y"] >= ulo) & (b["y"] <= uhi)]
+        _values, counts = np.unique(uniform_keys, return_counts=True)
+        assert counts.max() < 1.5 * counts.min()
+
+
+class TestQueryGeneration:
+    def test_random_range_width(self, rng):
+        lb, ub = random_range((0.0, 100.0), 0.1, rng)
+        assert ub - lb == pytest.approx(10.0)
+        assert 0.0 <= lb and ub <= 100.0
+
+    def test_random_range_invalid(self, rng):
+        with pytest.raises(InvalidParameterError):
+            random_range((5.0, 5.0), 0.1, rng)
+        with pytest.raises(InvalidParameterError):
+            random_range((0.0, 1.0), 0.0, rng)
+
+    def test_generated_queries_parse(self, linear_table):
+        workload = generate_range_queries(
+            linear_table, [("x", "y")], n_per_aggregate=3,
+            aggregates=("COUNT", "SUM", "AVG", "VARIANCE", "STDDEV", "PERCENTILE"),
+        )
+        assert len(workload) == 18
+        for sql in workload:
+            query = parse_query(sql)
+            assert query.table == "linear"
+
+    def test_percentile_targets_x(self, linear_table):
+        workload = generate_range_queries(
+            linear_table, [("x", "y")], n_per_aggregate=1,
+            aggregates=("PERCENTILE",),
+        )
+        query = parse_query(workload.sql[0])
+        assert query.aggregates[0].column == "x"
+
+    def test_fraction_cycling(self, linear_table):
+        workload = generate_range_queries(
+            linear_table, [("x", "y")], n_per_aggregate=4,
+            aggregates=("AVG",), range_fraction=[0.01, 0.1],
+        )
+        assert workload.fractions == [0.01, 0.1, 0.01, 0.1]
+
+    def test_group_by_rendering(self, linear_table):
+        workload = generate_range_queries(
+            linear_table, [("x", "y")], n_per_aggregate=1,
+            aggregates=("SUM",), group_by="g",
+        )
+        query = parse_query(workload.sql[0])
+        assert query.group_by == "g"
+
+    def test_join_queries_parse(self):
+        workload = generate_join_queries(
+            "store_sales", "store", "ss_store_sk", "s_store_sk",
+            "s_number_of_employees", (200.0, 300.0),
+            ["ss_net_profit"], n_per_aggregate=2,
+        )
+        assert len(workload) == 6
+        query = parse_query(workload.sql[0])
+        assert query.joins[0].table == "store"
