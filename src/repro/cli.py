@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Four subcommands cover the offline workflow the paper describes:
+Five subcommands cover the offline workflow the paper describes plus a
+health check for the batched evaluation engine:
 
-* ``generate`` — synthesise one of the evaluation datasets to CSV.
-* ``build``    — sample a CSV table, train a (group-by) model, append it
-  to a model catalog on disk.
-* ``query``    — answer SQL from a saved catalog (no base data needed).
-* ``advise``   — mine a query-log file and print which models to build.
+* ``generate``    — synthesise one of the evaluation datasets to CSV.
+* ``build``       — sample a CSV table, train a (group-by) model, append
+  it to a model catalog on disk.
+* ``query``       — answer SQL from a saved catalog (no base data needed).
+* ``advise``      — mine a query-log file and print which models to build.
+* ``bench-smoke`` — a ~2 second batched-vs-scalar GROUP BY sanity check
+  (timings + parity); exits non-zero if the paths disagree.
 
 Examples::
 
@@ -15,6 +18,7 @@ Examples::
     python -m repro query --catalog models.pkl \\
         "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 20;"
     python -m repro advise --log workload.sql
+    python -m repro bench-smoke
 """
 
 from __future__ import annotations
@@ -73,6 +77,15 @@ def _build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--log", type=Path, required=True,
                         help="file with one SQL query per line")
     advise.add_argument("--max-models", type=int, default=10)
+
+    smoke = commands.add_parser(
+        "bench-smoke",
+        help="quick batched-vs-scalar GROUP BY sanity check",
+    )
+    smoke.add_argument("--groups", type=int, default=50)
+    smoke.add_argument("--rows", type=int, default=60,
+                       help="sample rows per group")
+    smoke.add_argument("--seed", type=int, default=7)
     return parser
 
 
@@ -145,11 +158,76 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_smoke(args: argparse.Namespace) -> int:
+    """Batched-vs-scalar GROUP BY check on a small synthetic model set."""
+    import time
+
+    import numpy as np
+
+    from repro.core.groupby import GroupByModelSet
+    from repro.sql.ast import AggregateCall
+
+    if args.groups < 1 or args.rows < 1:
+        print("error: bench-smoke needs --groups >= 1 and --rows >= 1",
+              file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    n = args.groups * args.rows
+    groups = np.repeat(np.arange(args.groups), args.rows)
+    x = rng.uniform(0.0, 100.0, size=n)
+    y = (1.0 + groups * 0.1) * x + rng.normal(0.0, 1.0, size=n)
+    config = DBEstConfig(
+        regressor="plr", min_group_rows=min(30, args.rows),
+        integration_points=65, random_seed=args.seed,
+    )
+    model_set = GroupByModelSet.train(
+        sample_x=x, sample_y=y, sample_groups=groups,
+        full_groups=groups, full_x=x, full_y=y,
+        table_name="smoke", x_columns=("x",), y_column="y", group_column="g",
+        config=config,
+    )
+    if model_set.batched_evaluator() is None:
+        print("error: smoke model set did not stack into the batched "
+              "evaluator", file=sys.stderr)
+        return 2
+    ranges = {"x": (20.0, 60.0)}
+    worst = 0.0
+    print(f"{'aggregate':<12} {'scalar':>10} {'batched':>10} {'speedup':>8}")
+    for func in ("COUNT", "SUM", "AVG"):
+        aggregate = AggregateCall(func, "y")
+        timings = {}
+        for batched in (False, True):
+            model_set.answer(aggregate, ranges, batched=batched)  # warm-up
+            start = time.perf_counter()
+            model_set.answer(aggregate, ranges, batched=batched)
+            timings[batched] = time.perf_counter() - start
+        batched_answers = model_set.answer(aggregate, ranges, batched=True)
+        scalar_answers = model_set.answer(aggregate, ranges, batched=False)
+        for value, expected in scalar_answers.items():
+            got = batched_answers[value]
+            if np.isnan(expected) or np.isnan(got):
+                if np.isnan(expected) != np.isnan(got):
+                    worst = float("inf")  # one-sided NaN is a divergence
+                continue
+            worst = max(worst, abs(got - expected) / max(1.0, abs(expected)))
+        print(f"{func:<12} {timings[False] * 1e3:>8.2f}ms "
+              f"{timings[True] * 1e3:>8.2f}ms "
+              f"{timings[False] / timings[True]:>7.1f}x")
+    print(f"max relative divergence over {args.groups} groups: {worst:.2e}")
+    if worst > 1e-9:
+        print("error: batched and scalar paths disagree beyond 1e-9",
+              file=sys.stderr)
+        return 2
+    print("ok: batched path matches the scalar oracle")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
     "query": _cmd_query,
     "advise": _cmd_advise,
+    "bench-smoke": _cmd_bench_smoke,
 }
 
 

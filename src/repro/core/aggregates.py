@@ -44,11 +44,7 @@ def answer_aggregate(
 
     if func == "AVG":
         if on_x:
-            # Density-based mean of x: E[x] over the range.
-            den, num1, _ = model._grid_moments_1d(
-                *model._normalise_ranges(ranges)[0], use_regressor=False
-            )
-            return num1 / den if den > 0 else float("nan")
+            return model.avg_x(ranges)
         if on_y:
             return model.avg(ranges)
         raise UnsupportedQueryError(

@@ -78,8 +78,16 @@ class ModelBundle:
 
     # -- delegation so the engine can treat bundles like model sets --------
 
-    def answer(self, aggregate, ranges, n_workers: int | None = None) -> dict:
-        return self.load().answer(aggregate, ranges, n_workers=n_workers)
+    def answer(
+        self,
+        aggregate,
+        ranges,
+        n_workers: int | None = None,
+        batched: bool | None = None,
+    ) -> dict:
+        return self.load().answer(
+            aggregate, ranges, n_workers=n_workers, batched=batched
+        )
 
     def answer_group(self, value, aggregate, ranges) -> float:
         return self.load().answer_group(value, aggregate, ranges)

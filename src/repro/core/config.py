@@ -43,6 +43,12 @@ class DBEstConfig:
     n_workers / parallel_mode:
         Worker pool for per-group model evaluation (§4.7); 1 means
         sequential single-thread execution, the paper's default setup.
+    batched_groupby:
+        Answer GROUP BY aggregates for all groups in one vectorised pass
+        (see :mod:`repro.core.batched`) instead of the per-group scalar
+        loop.  Sets the batched path cannot stack (multivariate
+        predicates, adaptive quadrature, exotic densities) silently fall
+        back to the scalar loop regardless of this flag.
     random_seed:
         Seed for sampling and model training; None draws fresh entropy.
     """
@@ -58,6 +64,7 @@ class DBEstConfig:
     max_groups: int = 10_000
     n_workers: int = 1
     parallel_mode: str = "process"
+    batched_groupby: bool = True
     random_seed: int | None = field(default=None)
 
     def __post_init__(self) -> None:

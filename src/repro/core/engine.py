@@ -329,7 +329,12 @@ class DBEst:
 
         if query.group_by is not None:
             model = self.catalog.find(table, x_columns, y_lookup, query.group_by)
-            return model.answer(aggregate, ranges, n_workers=self.config.n_workers)
+            return model.answer(
+                aggregate,
+                ranges,
+                n_workers=self.config.n_workers,
+                batched=self.config.batched_groupby,
+            )
 
         # Nominal-categorical selection: equality on a group-by column is
         # answered by the matching group's model (paper §2.3, "Supporting

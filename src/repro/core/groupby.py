@@ -5,6 +5,12 @@ treated as a separate data set — one sample, one density estimator, one
 regressor per group.  Paper "Limitations": groups with too few rows are
 kept as raw tuples and aggregated exactly, since models over tiny groups
 are an overkill.
+
+Queries default to the batched evaluator (:mod:`repro.core.batched`),
+which answers all groups in one vectorised pass; the per-group scalar
+loop remains as the fallback for model sets the batched path cannot
+stack, as the oracle the parity tests compare against, and as an
+explicit opt-out (``answer(..., batched=False)``).
 """
 
 from __future__ import annotations
@@ -40,6 +46,20 @@ def _answer_chunk(payload: tuple) -> list[tuple]:
         else:
             out.append((value, answer_aggregate(evaluator, aggregate, ranges)))
     return out
+
+
+def _answer_batched_segment(payload: tuple) -> dict:
+    """Evaluate one batched-evaluator segment (module-level: picklable).
+
+    Workers receive a contiguous slice of the flat CSR arrays — much
+    cheaper to pickle than the per-group model objects the scalar path
+    ships — and run the same vectorised pass over their segment.
+    """
+    from repro.core.parallel import limit_blas_threads
+
+    limit_blas_threads(1)
+    segment, aggregate, ranges = payload
+    return segment.answer(aggregate, ranges)
 
 
 class RawGroup:
@@ -126,6 +146,10 @@ class GroupByModelSet:
         self.models = models
         self.raw_groups = raw_groups
         self.config = config or DBEstConfig()
+        # Lazily-built batched evaluator; dropped from pickles (it is
+        # derived state and would double the serialised model size).
+        self._batched_cache = None
+        self._batched_built = False
 
     # -- training ---------------------------------------------------------
 
@@ -228,22 +252,54 @@ class GroupByModelSet:
             return self.raw_groups[value].answer(aggregate, ranges, self.x_columns)
         raise KeyError(f"group value {value!r} not seen during training")
 
+    def batched_evaluator(self):
+        """The stacked evaluator for this set, or None if unbatchable.
+
+        Built on first use and cached; the cache is dropped on pickling
+        (see ``__getstate__``) and rebuilt lazily after a load.
+        """
+        # getattr: stay compatible with sets pickled before this attribute.
+        if not getattr(self, "_batched_built", False):
+            from repro.core.batched import BatchedGroupEvaluator
+
+            self._batched_cache = BatchedGroupEvaluator.build(self)
+            self._batched_built = True
+        return self._batched_cache
+
     def answer(
         self,
         aggregate: AggregateCall,
         ranges: Ranges,
         n_workers: int | None = None,
+        batched: bool | None = None,
     ) -> dict:
         """Answer one aggregate for every group.
 
+        The default path stacks all groups into the batched evaluator
+        and answers them in one vectorised pass — the per-group loop the
+        paper's §4.7 identifies as its Python bottleneck survives only as
+        a fallback.  ``batched`` overrides the config knob; sets the
+        evaluator cannot stack silently use the scalar loop.
+
         Per-group evaluation is embarrassingly parallel (paper §4.7.1);
-        ``n_workers`` > 1 fans group *chunks* out over a pool.  The default
-        ``process`` pool sidesteps the GIL (per-group work is many small
+        ``n_workers`` > 1 fans work out over a pool.  On the batched path
+        the workers receive contiguous slices of the flat arrays; on the
+        scalar path they receive pickled per-group models.  The default
+        ``process`` pool sidesteps the GIL (the scalar loop is many small
         numpy calls, so threads cannot speed it up — the same observation
-        §4.7 of the paper makes about its own Python implementation); the
-        models are pickled into the workers with each chunk.
+        §4.7 of the paper makes about its own Python implementation).
         """
         workers = n_workers if n_workers is not None else self.config.n_workers
+        use_batched = (
+            batched
+            if batched is not None
+            else getattr(self.config, "batched_groupby", True)
+        )
+        if use_batched:
+            evaluator = self.batched_evaluator()
+            if evaluator is not None:
+                return self._answer_batched(evaluator, aggregate, ranges, workers)
+
         values = self.group_values
         if workers <= 1 or len(values) <= 1:
             return {
@@ -270,7 +326,32 @@ class GroupByModelSet:
         )
         return dict(pair for chunk_result in results for pair in chunk_result)
 
+    def _answer_batched(
+        self, evaluator, aggregate: AggregateCall, ranges: Ranges, workers: int
+    ) -> dict:
+        """Run the batched evaluator, fanning segments over a pool if asked."""
+        if workers <= 1 or self.n_groups <= 1:
+            return evaluator.answer(aggregate, ranges)
+        segments = evaluator.split(workers)
+        if len(segments) <= 1:
+            return evaluator.answer(aggregate, ranges)
+        payloads = [(segment, aggregate, ranges) for segment in segments]
+        results = map_parallel(
+            _answer_batched_segment, payloads, workers=workers,
+            mode=self.config.parallel_mode,
+        )
+        merged: dict = {}
+        for part in results:
+            merged.update(part)
+        return merged
+
     # -- introspection -----------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_batched_cache"] = None
+        state["_batched_built"] = False
+        return state
 
     def size_bytes(self) -> int:
         return len(pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))

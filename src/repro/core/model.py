@@ -18,7 +18,7 @@ from repro.errors import (
     ModelTrainingError,
     UnsupportedQueryError,
 )
-from repro.integrate import adaptive_quad, bisect, simpson_weights
+from repro.integrate import adaptive_quad, bisect, simpson_grid
 from repro.ml.ensemble import EnsembleRegressor
 from repro.ml.gbm import GradientBoostingRegressor
 from repro.ml.kde import KernelDensityEstimator, MultivariateKDE
@@ -280,10 +280,9 @@ class ColumnSetModel:
             num1 = adaptive_quad(lambda t: f(t) * pdf(t), a, b)
             num2 = adaptive_quad(lambda t: f(t) ** 2 * pdf(t), a, b)
             return den, num1, num2
-        nodes = np.linspace(a, b, m)
+        nodes, w = simpson_grid(a, b, m)
         d = self.density.pdf(nodes)
         f = self._predict(nodes, lb, ub) if use_regressor else nodes
-        w = simpson_weights(m) * ((b - a) / (m - 1) / 3.0)
         den = float(w @ d)
         num1 = float(w @ (d * f))
         num2 = float(w @ (d * f * f))
@@ -308,8 +307,9 @@ class ColumnSetModel:
             m -= 1
         axes, weights = [], []
         for a, b in clipped:
-            axes.append(np.linspace(a, b, m))
-            weights.append(simpson_weights(m) * ((b - a) / (m - 1) / 3.0))
+            nodes, w = simpson_grid(a, b, m)
+            axes.append(nodes)
+            weights.append(w)
         mesh = np.meshgrid(*axes, indexing="ij")
         points = np.stack([g.ravel() for g in mesh], axis=1)
         w = weights[0]
@@ -357,6 +357,22 @@ class ColumnSetModel:
             return float("nan")
         return num1 / den
 
+    def avg_x(self, ranges: dict[str, tuple[float, float]]) -> float:
+        """Density-based AVG of the predicate column: E[x] over the range.
+
+        No regressor is involved — the identity function is integrated
+        against the density, the same construction as Equation 2's
+        moments.
+        """
+        if self.n_dims != 1:
+            raise UnsupportedQueryError(
+                "density-based AVG is only defined for one predicate column"
+            )
+        den, num1, _ = self._grid_moments_1d(
+            *self._normalise_ranges(ranges)[0], use_regressor=False
+        )
+        return num1 / den if den > 0 else float("nan")
+
     def sum_(self, ranges: dict[str, tuple[float, float]]) -> float:
         """SUM(y) = COUNT · AVG  (Equation 7), computed consistently.
 
@@ -393,11 +409,9 @@ class ColumnSetModel:
         a, b = self._clip_1d(*self._normalise_ranges(ranges)[0])
         if b <= a or den <= _EMPTY_DENSITY:
             return self._residual_var_global
-        m = self.integration_points
-        nodes = np.linspace(a, b, m)
+        nodes, w = simpson_grid(a, b, self.integration_points)
         d = self.density.pdf(nodes)
         sigma2 = self.residual_variance(nodes)
-        w = simpson_weights(m) * ((b - a) / (m - 1) / 3.0)
         return float(w @ (d * sigma2)) / den
 
     def stddev_y(self, ranges: dict[str, tuple[float, float]]) -> float:

@@ -122,18 +122,30 @@ def map_parallel(
     return list(pool.map(fn, items))
 
 
-def chunk_items(items: Sequence, n_chunks: int) -> list[list]:
-    """Split items into at most ``n_chunks`` contiguous, non-empty chunks."""
-    items = list(items)
+def chunk_bounds(n: int, n_chunks: int) -> list[tuple[int, int]]:
+    """At most ``n_chunks`` contiguous, non-empty (start, end) index ranges.
+
+    The index form lets callers slice flat array segments (the batched
+    group-by evaluator ships CSR slices to workers instead of pickled
+    per-group models); :func:`chunk_items` keeps the item-list form.
+    """
     if n_chunks < 1:
         raise InvalidParameterError(f"n_chunks must be >= 1, got {n_chunks}")
-    n_chunks = min(n_chunks, len(items)) or 1
-    size, rest = divmod(len(items), n_chunks)
-    chunks: list[list] = []
+    if n == 0:
+        return []
+    n_chunks = min(n_chunks, n)
+    size, rest = divmod(n, n_chunks)
+    bounds: list[tuple[int, int]] = []
     start = 0
     for i in range(n_chunks):
         end = start + size + (1 if i < rest else 0)
         if end > start:
-            chunks.append(items[start:end])
+            bounds.append((start, end))
         start = end
-    return chunks
+    return bounds
+
+
+def chunk_items(items: Sequence, n_chunks: int) -> list[list]:
+    """Split items into at most ``n_chunks`` contiguous, non-empty chunks."""
+    items = list(items)
+    return [items[a:b] for a, b in chunk_bounds(len(items), n_chunks)]

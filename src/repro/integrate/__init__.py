@@ -11,6 +11,7 @@ a single vectorised batch.
 from repro.integrate.quadrature import (
     adaptive_quad,
     integrate_product,
+    simpson_grid,
     simpson_integrate,
     simpson_weights,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "adaptive_quad",
     "bisect",
     "integrate_product",
+    "simpson_grid",
     "simpson_integrate",
     "simpson_weights",
 ]

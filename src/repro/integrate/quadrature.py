@@ -14,6 +14,7 @@ Two methods are provided:
 from __future__ import annotations
 
 from collections.abc import Callable
+from functools import lru_cache
 
 import numpy as np
 from scipy import integrate as _scipy_integrate
@@ -28,20 +29,53 @@ def _check_interval(lb: float, ub: float) -> None:
         raise InvalidParameterError(f"integration bounds reversed: [{lb}, {ub}]")
 
 
+@lru_cache(maxsize=64)
+def _simpson_weights_cached(n_points: int) -> np.ndarray:
+    weights = np.ones(n_points)
+    weights[1:-1:2] = 4.0
+    weights[2:-1:2] = 2.0
+    weights.setflags(write=False)
+    return weights
+
+
 def simpson_weights(n_points: int) -> np.ndarray:
     """Composite-Simpson weights for ``n_points`` equally spaced nodes.
 
     ``n_points`` must be odd and >= 3; weights sum to ``n_points - 1`` and
-    must be multiplied by ``h / 3`` where ``h`` is the node spacing.
+    must be multiplied by ``h / 3`` where ``h`` is the node spacing.  The
+    returned array is cached and read-only; copy before mutating.
     """
     if n_points < 3 or n_points % 2 == 0:
         raise InvalidParameterError(
             f"Simpson's rule needs an odd number of nodes >= 3, got {n_points}"
         )
-    weights = np.ones(n_points)
-    weights[1:-1:2] = 4.0
-    weights[2:-1:2] = 2.0
-    return weights
+    return _simpson_weights_cached(int(n_points))
+
+
+@lru_cache(maxsize=4096)
+def _simpson_grid_cached(lb: float, ub: float, n_points: int) -> tuple:
+    nodes = np.linspace(lb, ub, n_points)
+    weights = simpson_weights(n_points) * ((ub - lb) / (n_points - 1) / 3.0)
+    nodes.setflags(write=False)
+    weights.setflags(write=False)
+    return nodes, weights
+
+
+def simpson_grid(lb: float, ub: float, n_points: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached ``(nodes, weights)`` Simpson grid over ``[lb, ub]``.
+
+    ``weights`` already include the ``h / 3`` spacing factor, so an
+    integral is just ``weights @ f(nodes)``.  Query workloads hit the same
+    (range, resolution) pairs over and over — the per-group evaluators ask
+    for one grid per group per aggregate — so grids are memoised.  Both
+    arrays are read-only views of the cache; copy before mutating.
+    """
+    _check_interval(lb, ub)
+    if n_points < 3 or n_points % 2 == 0:
+        raise InvalidParameterError(
+            f"Simpson's rule needs an odd number of nodes >= 3, got {n_points}"
+        )
+    return _simpson_grid_cached(float(lb), float(ub), int(n_points))
 
 
 def simpson_integrate(

@@ -16,6 +16,7 @@ AQP workloads:
 from __future__ import annotations
 
 import math
+from typing import NamedTuple
 
 import numpy as np
 from scipy.special import ndtr  # standard normal CDF, vectorised
@@ -23,6 +24,25 @@ from scipy.special import ndtr  # standard normal CDF, vectorised
 from repro.errors import InvalidParameterError, ModelTrainingError
 
 _SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+
+class MixtureState(NamedTuple):
+    """Flat, immutable view of a fitted 1-D KDE for batch evaluators.
+
+    ``centres`` / ``weights`` define the Gaussian mixture, ``h`` its
+    common bandwidth.  ``support`` is the interval outside which the
+    density is treated as zero (``reflect``) or negligible.  When
+    ``point_mass`` is not None the column was constant and the whole
+    distribution is a unit mass at that value.
+    """
+
+    centres: np.ndarray
+    weights: np.ndarray
+    h: float
+    support: tuple[float, float]
+    reflect: bool
+    point_mass: float | None
+    n_train: int
 
 
 def scott_bandwidth(x: np.ndarray) -> float:
@@ -245,6 +265,46 @@ class KernelDensityEstimator:
             return 1.0 if lb <= self._point_mass <= ub else 0.0
         values = self.cdf(np.asarray([lb, ub]))
         return float(values[1] - values[0])
+
+    def integrate_many(self, lbs: np.ndarray, ubs: np.ndarray) -> np.ndarray:
+        """``∫ D(x) dx`` over many intervals in one vectorised pass.
+
+        Evaluates the analytic CDF once at all lower and upper bounds
+        instead of making one :meth:`integrate` round-trip per interval —
+        the building block batched group-by evaluation is made of.
+        """
+        self._require_fitted()
+        lbs = np.atleast_1d(np.asarray(lbs, dtype=np.float64))
+        ubs = np.atleast_1d(np.asarray(ubs, dtype=np.float64))
+        if lbs.shape != ubs.shape:
+            raise InvalidParameterError(
+                f"interval bounds differ in shape: {lbs.shape} vs {ubs.shape}"
+            )
+        if np.any(ubs < lbs):
+            raise InvalidParameterError("integrate_many got a reversed interval")
+        if getattr(self, "_point_mass", None) is not None:
+            inside = (lbs <= self._point_mass) & (self._point_mass <= ubs)
+            return inside.astype(np.float64)
+        bounds = np.concatenate([lbs, ubs])
+        values = self.cdf(bounds)
+        return values[lbs.size:] - values[: lbs.size]
+
+    def export_mixture(self) -> MixtureState:
+        """Flat mixture parameters for stacking into batched evaluators.
+
+        The arrays are the estimator's own (not copies); treat them as
+        read-only.
+        """
+        self._require_fitted()
+        return MixtureState(
+            centres=self._centres,
+            weights=self._weights,
+            h=float(self._h),
+            support=self._support,
+            reflect=self._reflection_active(),
+            point_mass=getattr(self, "_point_mass", None),
+            n_train=self.n_train,
+        )
 
     def sample(self, k: int, rng: np.random.Generator | None = None) -> np.ndarray:
         """Draw ``k`` points from the fitted mixture (for synthetic data/tests)."""

@@ -57,6 +57,18 @@ class LinearRegressor:
             X = X[:, None]
         return self._coef[0] + X @ self._coef[1:]
 
+    def export_batch_state(self) -> tuple:
+        """``("linear", coef)`` for stacking into batched evaluators.
+
+        Only 1-D models are stackable; multivariate fits return None so
+        callers fall back to per-model :meth:`predict`.
+        """
+        if self._coef is None:
+            raise ModelTrainingError("linear model used before fit()")
+        if self._coef.shape[0] != 2:
+            return None
+        return ("linear", self._coef)
+
 
 class PiecewiseLinearRegressor:
     """Continuous linear spline: OLS on a hinge (ReLU) basis.
@@ -107,3 +119,14 @@ class PiecewiseLinearRegressor:
         if x.ndim == 2:
             x = x[:, 0]
         return self._design(x) @ self._coef
+
+    def export_batch_state(self) -> tuple:
+        """``("plr", knots, coef)`` for stacking into batched evaluators.
+
+        ``coef`` is ``[intercept, slope, hinge coefficients...]`` with one
+        hinge coefficient per knot; a prediction at ``x`` is
+        ``coef[0] + coef[1]*x + sum_j coef[2+j]*max(0, x - knots[j])``.
+        """
+        if self._coef is None:
+            raise ModelTrainingError("piecewise-linear model used before fit()")
+        return ("plr", self._knots, self._coef)

@@ -215,6 +215,22 @@ class DecisionTreeRegressor:
             position[rows] = children
         return nodes["value"][position]
 
+    def predict_many(self, grids: list[np.ndarray]) -> list[np.ndarray]:
+        """Predict over many point sets in one tree traversal.
+
+        Concatenates the grids, runs a single vectorised :meth:`predict`,
+        and splits the result back — per-point predictions are independent
+        of batch composition, so the values are identical to per-grid
+        calls while the tree is walked once instead of ``len(grids)``
+        times.
+        """
+        if not grids:
+            return []
+        flat = np.concatenate([np.asarray(g, dtype=np.float64) for g in grids])
+        values = self.predict(flat)
+        splits = np.cumsum([np.asarray(g).shape[0] for g in grids])[:-1]
+        return np.split(values, splits)
+
     @property
     def n_nodes(self) -> int:
         if self._nodes is None:

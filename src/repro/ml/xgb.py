@@ -254,3 +254,17 @@ class XGBRegressor:
         for tree in self._trees:
             out = out + self.learning_rate * tree.predict(X, self.max_depth)
         return out
+
+    def predict_many(self, grids: list[np.ndarray]) -> list[np.ndarray]:
+        """Predict over many point sets with one pass through the stages.
+
+        One concatenated :meth:`predict` walks each boosted tree once
+        instead of once per grid; per-point predictions are independent of
+        batch composition, so the values match per-grid calls exactly.
+        """
+        if not grids:
+            return []
+        flat = np.concatenate([np.asarray(g, dtype=np.float64) for g in grids])
+        values = self.predict(flat)
+        splits = np.cumsum([np.asarray(g).shape[0] for g in grids])[:-1]
+        return np.split(values, splits)

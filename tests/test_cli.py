@@ -123,3 +123,11 @@ class TestAdvise:
         log = tmp_path / "empty.sql"
         log.write_text("-- nothing here\n")
         assert main(["advise", "--log", str(log)]) == 1
+
+
+class TestBenchSmoke:
+    def test_reports_parity_and_timings(self, capsys):
+        assert main(["bench-smoke", "--groups", "8", "--rows", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "ok: batched path matches the scalar oracle" in out
