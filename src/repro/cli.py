@@ -9,7 +9,10 @@ health check for the batched evaluation engine:
 * ``query``       — answer SQL from a saved catalog (no base data needed).
 * ``advise``      — mine a query-log file and print which models to build.
 * ``bench-smoke`` — a ~2 second batched-vs-scalar GROUP BY sanity check
-  (timings + parity); exits non-zero if the paths disagree.
+  covering both sides of the batched engine: *training* (batched trainer
+  vs the per-group loop, wall time + model-parameter parity) and
+  *querying* (batched evaluator vs the scalar loop, wall time + answer
+  parity); exits non-zero if either side disagrees.
 
 Examples::
 
@@ -180,19 +183,53 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
         regressor="plr", min_group_rows=min(30, args.rows),
         integration_points=65, random_seed=args.seed,
     )
-    model_set = GroupByModelSet.train(
+    train_kwargs = dict(
         sample_x=x, sample_y=y, sample_groups=groups,
         full_groups=groups, full_x=x, full_y=y,
         table_name="smoke", x_columns=("x",), y_column="y", group_column="g",
         config=config,
     )
+
+    # Training leg: batched trainer vs the per-group loop on the same
+    # sample — wall time plus worst model-parameter divergence.
+    train_timings = {}
+    trained = {}
+    for batched in (False, True):
+        GroupByModelSet.train(batched=batched, **train_kwargs)  # warm-up
+        start = time.perf_counter()
+        trained[batched] = GroupByModelSet.train(
+            batched=batched, **train_kwargs
+        )
+        train_timings[batched] = time.perf_counter() - start
+    train_worst = 0.0
+    for value, scalar_model in trained[False].models.items():
+        batched_model = trained[True].models[value]
+        for got, expected in (
+            (batched_model.density._centres, scalar_model.density._centres),
+            (batched_model.density._weights, scalar_model.density._weights),
+            (batched_model.regressor._coef, scalar_model.regressor._coef),
+            (batched_model.regressor._knots, scalar_model.regressor._knots),
+        ):
+            if got.shape != expected.shape:
+                train_worst = float("inf")
+                continue
+            scale = np.maximum(1.0, np.abs(expected))
+            train_worst = max(
+                train_worst,
+                float(np.max(np.abs(got - expected) / scale, initial=0.0)),
+            )
+
+    model_set = trained[True]
     if model_set.batched_evaluator() is None:
         print("error: smoke model set did not stack into the batched "
               "evaluator", file=sys.stderr)
         return 2
     ranges = {"x": (20.0, 60.0)}
     worst = 0.0
-    print(f"{'aggregate':<12} {'scalar':>10} {'batched':>10} {'speedup':>8}")
+    print(f"{'leg':<12} {'scalar':>10} {'batched':>10} {'speedup':>8}")
+    print(f"{'TRAIN':<12} {train_timings[False] * 1e3:>8.2f}ms "
+          f"{train_timings[True] * 1e3:>8.2f}ms "
+          f"{train_timings[False] / train_timings[True]:>7.1f}x")
     for func in ("COUNT", "SUM", "AVG"):
         aggregate = AggregateCall(func, "y")
         timings = {}
@@ -213,12 +250,13 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
         print(f"{func:<12} {timings[False] * 1e3:>8.2f}ms "
               f"{timings[True] * 1e3:>8.2f}ms "
               f"{timings[False] / timings[True]:>7.1f}x")
-    print(f"max relative divergence over {args.groups} groups: {worst:.2e}")
-    if worst > 1e-9:
+    print(f"max answer divergence over {args.groups} groups: {worst:.2e}; "
+          f"max trained-parameter divergence: {train_worst:.2e}")
+    if worst > 1e-9 or train_worst > 1e-9:
         print("error: batched and scalar paths disagree beyond 1e-9",
               file=sys.stderr)
         return 2
-    print("ok: batched path matches the scalar oracle")
+    print("ok: batched training and evaluation match the scalar oracles")
     return 0
 
 

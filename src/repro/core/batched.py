@@ -23,9 +23,16 @@ arrays at build time so a query touches each array once:
 * **Grid aggregates** (SUM/AVG/VARIANCE/STDDEV) build one ``(G, m)``
   node matrix with a single vectorised ``np.linspace``, evaluate every
   group's reflected mixture pdf in cache-sized blocks of the CSR array,
-  and reduce moments with row-wise dot products.  Stacked piecewise
-  linear / OLS regressor coefficients make the regression factor one
-  pass too; other regressors (tree ensembles) fall back to a per-group
+  and reduce moments with row-wise dot products.  The pdf rows are
+  memoised by query bounds, so SUM, AVG and VARIANCE over the same
+  ranges share one exp pass instead of re-exponentiating per aggregate.
+* **Regressors** stack by family: piecewise-linear / OLS coefficients
+  become one hinge/affine kernel; tree boosters (``tree`` / ``gboost``
+  / ``xgboost``) export flat node arrays and are traversed in lock-step
+  across all groups; ``ensemble`` regressors keep per-group constituent
+  *selection* (each group's own range classifier) but evaluate every
+  group that selected the same constituent through the corresponding
+  stacked pass.  Truly exotic regressors fall back to a per-group
   predict loop while the density work stays batched.
 * **Raw groups** are concatenated row-wise and answered with one masked
   segmented reduction per aggregate.
@@ -100,6 +107,16 @@ class BatchedGroupEvaluator:
         self.y_column = y_column
         self._m = model_state
         self._r = raw_state
+        # Memoised (bounds -> Simpson grid + pdf rows): SUM, AVG and
+        # VARIANCE over the same ranges share one exp pass instead of
+        # re-evaluating the mixture pdf per aggregate.  Keyed by the
+        # per-group bound arrays; bounded FIFO; dropped from pickles.
+        self._grid_cache: dict = {}
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_grid_cache"] = {}
+        return state
 
     # -- construction -------------------------------------------------------
 
@@ -231,8 +248,8 @@ class BatchedGroupEvaluator:
         state["aug_centre_over_h"] = np.concatenate(aug_centres) * inv_h_aug
         state["aug_weights"] = np.concatenate(aug_weights)
 
-    @staticmethod
-    def _stack_regressors(state: dict, regressors: list) -> bool:
+    @classmethod
+    def _stack_regressors(cls, state: dict, regressors: list) -> bool:
         """Classify and (when possible) stack the per-group regressors."""
         if all(reg is None for reg in regressors):
             state["reg_mode"] = "none"
@@ -245,22 +262,103 @@ class BatchedGroupEvaluator:
             exported.append(export() if export is not None else None)
         kinds = {None if e is None else e[0] for e in exported}
         if kinds == {"plr"}:
-            knots = [e[1] for e in exported]
-            counts = [k.shape[0] for k in knots]
             state["reg_mode"] = "plr"
-            state["reg_knots"] = np.concatenate(knots)
-            state["reg_koffsets"] = np.concatenate(([0], np.cumsum(counts)))
-            state["reg_hinge_coef"] = np.concatenate(
-                [e[2][2:] for e in exported]
-            )
-            state["reg_affine"] = np.stack([e[2][:2] for e in exported])
+            state["reg_plr"] = cls._stack_plr(exported)
         elif kinds == {"linear"}:
             state["reg_mode"] = "linear"
             state["reg_affine"] = np.stack([e[1] for e in exported])
+        elif kinds == {"forest"}:
+            state["reg_mode"] = "forest"
+            state["reg_forest"] = cls._stack_forest(exported)
+        elif all(isinstance(reg, EnsembleRegressor) for reg in regressors):
+            ensemble_state = cls._stack_ensembles(regressors)
+            if ensemble_state is None:
+                state["reg_mode"] = "generic"
+                state["reg_objects"] = list(regressors)
+            else:
+                state["reg_mode"] = "ensemble"
+                state["reg_ens"] = ensemble_state
+                state["reg_objects"] = list(regressors)
         else:
             state["reg_mode"] = "generic"
             state["reg_objects"] = list(regressors)
         return True
+
+    @staticmethod
+    def _stack_plr(exported: list[tuple]) -> dict:
+        """Stack per-group ``("plr", knots, coef)`` exports flat (CSR)."""
+        knots = [e[1] for e in exported]
+        counts = [k.shape[0] for k in knots]
+        return {
+            "knots": np.concatenate(knots),
+            "koffsets": np.concatenate(([0], np.cumsum(counts))),
+            "hinge": np.concatenate([e[2][2:] for e in exported]),
+            "affine": np.stack([e[2][:2] for e in exported]),
+        }
+
+    @staticmethod
+    def _stack_forest(exported: list[tuple]) -> dict:
+        """Stack per-group ``("forest", ...)`` exports into one flat forest.
+
+        Child indices stay tree-local; ``toffsets`` maps every tree to
+        its flat node range and ``gtoffsets`` maps every group to its
+        tree range, so lock-step traversal and contiguous group slicing
+        both reduce to offset arithmetic.
+        """
+        base = np.asarray([e[1] for e in exported], dtype=np.float64)
+        lr = np.asarray([e[2] for e in exported], dtype=np.float64)
+        tree_counts = np.asarray([e[3].shape[0] - 1 for e in exported])
+        gtoffsets = np.concatenate(([0], np.cumsum(tree_counts)))
+        node_counts = [int(e[3][-1]) for e in exported]
+        node_base = np.concatenate(([0], np.cumsum(node_counts)))
+        toffsets = np.concatenate(
+            [e[3][:-1] + node_base[i] for i, e in enumerate(exported)]
+            + [node_base[-1:]]
+        )
+        return {
+            "base": base,
+            "lr": lr,
+            "gtoffsets": gtoffsets.astype(np.int64),
+            "toffsets": toffsets.astype(np.int64),
+            "feature": np.concatenate([e[4] for e in exported]),
+            "threshold": np.concatenate([e[5] for e in exported]),
+            "left": np.concatenate([e[6] for e in exported]),
+            "right": np.concatenate([e[7] for e in exported]),
+            "value": np.concatenate([e[8] for e in exported]),
+        }
+
+    @classmethod
+    def _stack_ensembles(cls, regressors: list) -> dict | None:
+        """Stack every ensemble constituent across groups, or None.
+
+        Selection stays per group (each ensemble routes a query range
+        through its own classifier), but once selected, all groups that
+        picked the same constituent family evaluate through one stacked
+        pass — piecewise-linear constituents via the hinge kernel, tree
+        boosters via lock-step forest traversal.
+        """
+        names: set | None = None
+        per_group: list[dict] = []
+        for reg in regressors:
+            states = reg.export_constituent_states()
+            if states is None:
+                return None
+            if names is None:
+                names = set(states)
+            elif set(states) != names:
+                return None
+            per_group.append(states)
+        plr: dict = {}
+        forest: dict = {}
+        for name in sorted(names):
+            kinds = {states[name][0] for states in per_group}
+            if kinds == {"plr"}:
+                plr[name] = cls._stack_plr([s[name] for s in per_group])
+            elif kinds == {"forest"}:
+                forest[name] = cls._stack_forest([s[name] for s in per_group])
+            else:
+                return None
+        return {"plr": plr, "forest": forest}
 
     @classmethod
     def _stack_raw(cls, model_set) -> dict | None:
@@ -350,18 +448,58 @@ class BatchedGroupEvaluator:
                         "pm_mask", "pm_value", "population", "res_global"):
                 part[key] = state[key][g0:g1]
             if state["reg_mode"] == "plr":
-                k0, k1 = state["reg_koffsets"][g0], state["reg_koffsets"][g1]
-                part["reg_knots"] = state["reg_knots"][k0:k1]
-                part["reg_hinge_coef"] = state["reg_hinge_coef"][k0:k1]
-                part["reg_koffsets"] = state["reg_koffsets"][g0:g1 + 1] - k0
-                part["reg_affine"] = state["reg_affine"][g0:g1]
+                part["reg_plr"] = self._slice_plr(state["reg_plr"], g0, g1)
             elif state["reg_mode"] == "linear":
                 part["reg_affine"] = state["reg_affine"][g0:g1]
+            elif state["reg_mode"] == "forest":
+                part["reg_forest"] = self._slice_forest(
+                    state["reg_forest"], g0, g1
+                )
+            elif state["reg_mode"] == "ensemble":
+                part["reg_ens"] = {
+                    "plr": {
+                        name: self._slice_plr(sub, g0, g1)
+                        for name, sub in state["reg_ens"]["plr"].items()
+                    },
+                    "forest": {
+                        name: self._slice_forest(sub, g0, g1)
+                        for name, sub in state["reg_ens"]["forest"].items()
+                    },
+                }
+                part["reg_objects"] = state["reg_objects"][g0:g1]
             elif state["reg_mode"] == "generic":
                 part["reg_objects"] = state["reg_objects"][g0:g1]
             self._derive_model_arrays(part)
             parts.append(part)
         return parts
+
+    @staticmethod
+    def _slice_plr(plr: dict, g0: int, g1: int) -> dict:
+        """Contiguous group slice of a stacked piecewise-linear state."""
+        k0, k1 = plr["koffsets"][g0], plr["koffsets"][g1]
+        return {
+            "knots": plr["knots"][k0:k1],
+            "hinge": plr["hinge"][k0:k1],
+            "koffsets": plr["koffsets"][g0:g1 + 1] - k0,
+            "affine": plr["affine"][g0:g1],
+        }
+
+    @staticmethod
+    def _slice_forest(forest: dict, g0: int, g1: int) -> dict:
+        """Contiguous group slice of a stacked forest state."""
+        t0, t1 = forest["gtoffsets"][g0], forest["gtoffsets"][g1]
+        n0, n1 = forest["toffsets"][t0], forest["toffsets"][t1]
+        return {
+            "base": forest["base"][g0:g1],
+            "lr": forest["lr"][g0:g1],
+            "gtoffsets": forest["gtoffsets"][g0:g1 + 1] - t0,
+            "toffsets": forest["toffsets"][t0:t1 + 1] - n0,
+            "feature": forest["feature"][n0:n1],
+            "threshold": forest["threshold"][n0:n1],
+            "left": forest["left"][n0:n1],
+            "right": forest["right"][n0:n1],
+            "value": forest["value"][n0:n1],
+        }
 
     def _split_raw(self, n_chunks: int) -> list[dict | None]:
         if self._r is None:
@@ -511,31 +649,49 @@ class BatchedGroupEvaluator:
 
     # -- grid-moment machinery ----------------------------------------------
 
+    _GRID_CACHE_MAX = 8
+
     def _moments(
         self, lb: np.ndarray, ub: np.ndarray, use_regressor: bool
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict]:
         """(∫D, ∫fD, ∫f²D) per group over the shared Simpson grid.
 
-        The returned cache dict carries the per-group grids, pdf values
-        and scaled weights so VARIANCE's residual pass can reuse them
-        (the scalar path recomputes them with identical values).
+        The per-group grids, pdf rows and scaled weights are memoised by
+        query bounds: SUM, AVG and VARIANCE over the same ranges evaluate
+        the (exp-bound) mixture pdf once and reuse it, re-running only
+        the cheap regression factor and the weighted reductions.  The
+        returned cache dict carries the same arrays so VARIANCE's
+        residual pass can reuse them within one call (the scalar path
+        recomputes them with identical values).
         """
         state = self._m
         g = len(state["values"])
-        a = np.maximum(lb, state["sup_lo"])
-        b = np.minimum(ub, state["sup_hi"])
-        active = np.flatnonzero(b > a)
+        key = (lb.tobytes(), ub.tobytes())
+        cache = self._grid_cache.get(key)
+        if cache is None:
+            a = np.maximum(lb, state["sup_lo"])
+            b = np.minimum(ub, state["sup_hi"])
+            active = np.flatnonzero(b > a)
+            cache = {"a": a, "b": b, "active": active}
+            if active.size:
+                m = state["points"]
+                nodes = np.linspace(a[active], b[active], m, axis=1)
+                scale = (b[active] - a[active]) / (m - 1) / 3.0
+                cache.update(
+                    nodes=nodes,
+                    pdf=self._pdf_grid(active, nodes),
+                    weights=simpson_weights(m)[None, :] * scale[:, None],
+                )
+            while len(self._grid_cache) >= self._GRID_CACHE_MAX:
+                self._grid_cache.pop(next(iter(self._grid_cache)))
+            self._grid_cache[key] = cache
+        active = cache["active"]
         den = np.zeros(g)
         num1 = np.zeros(g)
         num2 = np.zeros(g)
-        cache = {"a": a, "b": b, "active": active}
         if active.size == 0:
             return den, num1, num2, cache
-        m = state["points"]
-        nodes = np.linspace(a[active], b[active], m, axis=1)
-        d = self._pdf_grid(active, nodes)
-        scale = (b[active] - a[active]) / (m - 1) / 3.0
-        w = simpson_weights(m)[None, :] * scale[:, None]
+        nodes, d, w = cache["nodes"], cache["pdf"], cache["weights"]
         if use_regressor:
             f = self._predict_grid(active, nodes, lb, ub)
         else:
@@ -544,7 +700,6 @@ class BatchedGroupEvaluator:
         den[active] = wd.sum(axis=1)
         num1[active] = (wd * f).sum(axis=1)
         num2[active] = (wd * f * f).sum(axis=1)
-        cache.update(nodes=nodes, pdf=d, weights=w)
         return den, num1, num2, cache
 
     def _pdf_grid(self, active: np.ndarray, nodes: np.ndarray) -> np.ndarray:
@@ -604,20 +759,14 @@ class BatchedGroupEvaluator:
             coef = state["reg_affine"][active]
             return coef[:, 0:1] + coef[:, 1:2] * nodes
         if mode == "plr":
-            coef = state["reg_affine"][active]
-            out = coef[:, 0:1] + coef[:, 1:2] * nodes
-            counts = np.diff(state["reg_koffsets"])[active]
-            local_offsets = np.concatenate(([0], np.cumsum(counts)))
-            rows = _csr_take_rows(state["reg_koffsets"], active)
-            knots = state["reg_knots"][rows]
-            hinge_coef = state["reg_hinge_coef"][rows]
-            lg = np.repeat(np.arange(active.shape[0]), counts)
-            hinges = np.maximum(0.0, nodes.take(lg, axis=0) - knots[:, None])
-            hinges *= hinge_coef[:, None]
-            out += np.add.reduceat(hinges, local_offsets[:-1], axis=0)
-            return out
-        # Generic regressors (tree ensembles, boosted models): the scalar
-        # predict loop remains, but the density work around it is batched.
+            return self._plr_predict(state["reg_plr"], active, nodes)
+        if mode == "forest":
+            return self._forest_predict(state["reg_forest"], active, nodes)
+        if mode == "ensemble":
+            return self._ensemble_predict(active, nodes, lb, ub)
+        # Generic regressors (exotic estimators the exporters cannot
+        # stack): the scalar predict loop remains, but the density work
+        # around it is batched.
         out = np.empty_like(nodes)
         for i, g in enumerate(active.tolist()):
             regressor = state["reg_objects"][g]
@@ -625,6 +774,106 @@ class BatchedGroupEvaluator:
                 out[i] = regressor.predict(nodes[i], lb=lb[g], ub=ub[g])
             else:
                 out[i] = regressor.predict(nodes[i])
+        return out
+
+    @staticmethod
+    def _plr_predict(
+        plr: dict, active: np.ndarray, nodes: np.ndarray
+    ) -> np.ndarray:
+        """Stacked piecewise-linear predictions on the given node rows."""
+        coef = plr["affine"][active]
+        out = coef[:, 0:1] + coef[:, 1:2] * nodes
+        counts = np.diff(plr["koffsets"])[active]
+        local_offsets = np.concatenate(([0], np.cumsum(counts)))
+        rows = _csr_take_rows(plr["koffsets"], active)
+        knots = plr["knots"][rows]
+        hinge_coef = plr["hinge"][rows]
+        lg = np.repeat(np.arange(active.shape[0]), counts)
+        hinges = np.maximum(0.0, nodes.take(lg, axis=0) - knots[:, None])
+        hinges *= hinge_coef[:, None]
+        out += np.add.reduceat(hinges, local_offsets[:-1], axis=0)
+        return out
+
+    @staticmethod
+    def _forest_predict(
+        forest: dict, active: np.ndarray, nodes: np.ndarray
+    ) -> np.ndarray:
+        """Lock-step traversal of every active group's boosted trees.
+
+        All (tree, node-row) pairs advance one level per iteration over
+        the flat stacked node arrays — the per-group, per-stage Python
+        loop of the scalar path becomes ~max_depth gather passes — then
+        per-group learning-rate-scaled leaf sums reduce with one
+        ``np.add.reduceat``, matching the scalar accumulation order.
+        """
+        gtoffsets = forest["gtoffsets"]
+        tree_idx = _csr_take_rows(gtoffsets, active)
+        tree_counts = np.diff(gtoffsets)[active]
+        roots = forest["toffsets"][:-1][tree_idx]
+        lg = np.repeat(np.arange(active.shape[0]), tree_counts)
+        x = nodes[lg]                                   # (T, m)
+        offs = roots[:, None]
+        pos = np.broadcast_to(offs, x.shape).copy()
+        feature = forest["feature"]
+        threshold = forest["threshold"]
+        left = forest["left"]
+        right = forest["right"]
+        # A root-to-leaf path can never visit more nodes than the
+        # largest tree holds, so this bound is exact; leftover internal
+        # positions afterwards mean cyclic/corrupt node arrays, which
+        # must raise rather than silently return split-node values.
+        depth_bound = int(np.max(np.diff(forest["toffsets"]), initial=1))
+        for _ in range(depth_bound):
+            feat = feature[pos]
+            internal = feat >= 0
+            if not internal.any():
+                break
+            child = np.where(x <= threshold[pos], left[pos], right[pos])
+            pos = np.where(internal, offs + child, pos)
+        else:
+            if (feature[pos] >= 0).any():
+                raise QueryExecutionError(
+                    "stacked forest traversal did not reach leaves within "
+                    f"{depth_bound} levels; node arrays are corrupt"
+                )
+        contrib = forest["value"][pos]
+        contrib *= forest["lr"][active][lg, None]
+        local_toffsets = np.concatenate(([0], np.cumsum(tree_counts)))
+        summed = np.add.reduceat(contrib, local_toffsets[:-1], axis=0)
+        return summed + forest["base"][active][:, None]
+
+    def _ensemble_predict(
+        self,
+        active: np.ndarray,
+        nodes: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+    ) -> np.ndarray:
+        """Route each group through its selected constituent, stacked.
+
+        Selection is the scalar path's own ``select(lb, ub)`` per group
+        (a tiny classifier lookup); evaluation batches all groups that
+        picked the same constituent through one stacked pass.
+        """
+        state = self._m
+        ens = state["reg_ens"]
+        objects = state["reg_objects"]
+        names = np.asarray([
+            objects[g].select(float(lb[g]), float(ub[g]))
+            for g in active.tolist()
+        ])
+        out = np.empty_like(nodes)
+        for name in np.unique(names).tolist():
+            positions = np.flatnonzero(names == name)
+            sub_active = active[positions]
+            if name in ens["plr"]:
+                out[positions] = self._plr_predict(
+                    ens["plr"][name], sub_active, nodes[positions]
+                )
+            else:
+                out[positions] = self._forest_predict(
+                    ens["forest"][name], sub_active, nodes[positions]
+                )
         return out
 
     # -- aggregate bodies ---------------------------------------------------

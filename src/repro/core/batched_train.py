@@ -1,0 +1,707 @@
+"""Batched training: build every group's model in shared vectorised passes.
+
+The scalar path in :mod:`repro.core.groupby` trains one group at a time —
+re-scanning the whole sample with a boolean mask per group (O(N·G)), then
+fitting one KDE and one regressor per group through many small numpy
+calls.  PR 1 removed exactly this shape of bottleneck from the *answer*
+side; this module applies the same treatment to the *build* side:
+
+* **Partition once** — a single stable ``np.argsort`` over the group
+  column plus ``np.searchsorted`` boundaries yields every group's rows as
+  a contiguous slice (:class:`GroupPartition`).  Both the batched and
+  scalar trainers and the ``RawGroup`` collection share it, so no path
+  re-masks the table per group.
+* **All KDEs in one pass** — per-group Scott/Silverman bandwidths come
+  from segmented moment reductions (``np.add.reduceat`` sums, vectorised
+  quantiles over a within-group sort); the binned fast path histograms
+  every large group at once with a single 2-D ``np.bincount`` over
+  (group, bin) codes that replicates ``np.histogram``'s uniform-bin index
+  arithmetic bit for bit.
+* **All OLS / piecewise-linear fits in one solve** — stacked normal
+  equations: batched Gram matrices (``np.einsum`` over equal-sized
+  groups, blocked outer-product reductions otherwise) solved with one
+  ``np.linalg.solve`` over a ``(G, k, k)`` stack plus two iterative
+  refinement sweeps against the least-squares residual.  Groups whose Gram
+  matrix is ill-conditioned (ties, degenerate features) fall back to the
+  scalar trainer's own ``np.linalg.lstsq`` on their design slice, which
+  keeps coefficients bit-identical exactly where stacked solves would
+  drift.
+* **Residual-variance state in bulk** — the law-of-total-variance bins of
+  :meth:`ColumnSetModel._fit_residual_variance` are rebuilt with the same
+  segmented quantiles and one global ``np.bincount``.
+* **Nonlinear regressors** (tree / gboost / xgboost / ensemble) cannot be
+  stacked into a linear solve; their fits run through *chunked*
+  ``map_parallel`` with row-weighted chunks while the density work stays
+  batched.
+
+Contract
+========
+
+:func:`train_batched_models` returns the per-group ``models`` dict of a
+:class:`~repro.core.groupby.GroupByModelSet`, or None when the set cannot
+be batch-trained (multivariate predicates).  The scalar loop in
+``GroupByModelSet.train`` remains as fallback and as the parity oracle:
+batched-trained models match loop-trained models to ~1e-12 in every
+parameter (centres, weights and knots bit for bit; solver-touched
+coefficients to 1e-12 relative) and answer queries identically to 1e-9.
+``DBEstConfig(batched_train=False)`` or ``train(..., batched=False)``
+force the scalar loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batched import _chunk_by_budget, _csr_take_rows
+from repro.core.config import DBEstConfig
+from repro.core.model import ColumnSetModel, _make_regressor
+from repro.core.parallel import chunk_bounds_weighted, map_parallel
+from repro.errors import ModelTrainingError
+from repro.ml.kde import KernelDensityEstimator
+from repro.ml.linear import LinearRegressor, PiecewiseLinearRegressor
+
+# Relative size of the iterative-refinement correction above which a
+# group leaves the stacked normal-equation solve for a per-group lstsq.
+# The first refinement step's magnitude is a direct estimate of the
+# normal-equation error (~cond(Gram) * eps), so a large step marks an
+# ill-conditioned group whose lstsq minimum-norm answer the stacked solve
+# cannot reproduce; a small step certifies the refined solution is within
+# ~1e-13 of lstsq.
+_REFINE_LIMIT = 1e-9
+
+# Element budget for blocked outer-product (Gram) and edge-comparison
+# passes: bounds temporary matrices to a few MB.
+_BLOCK_ELEMENTS = 1 << 22
+
+_STACKED_REGRESSORS = ("linear", "plr")
+
+
+class GroupPartition:
+    """Sorted view of a group column: one argsort, O(1) per-group slices.
+
+    ``order`` is a *stable* permutation sorting the rows by group value,
+    so ``order[offsets[g]:offsets[g + 1]]`` lists group ``g``'s row
+    indices in their original order — gathering with them reproduces the
+    arrays a boolean mask would produce, without the per-group O(N) scan.
+    """
+
+    def __init__(
+        self, order: np.ndarray, offsets: np.ndarray, values: np.ndarray
+    ) -> None:
+        self.order = order
+        self.offsets = offsets
+        self.values = values
+
+    @classmethod
+    def from_groups(
+        cls, groups: np.ndarray, values: np.ndarray | None = None
+    ) -> "GroupPartition":
+        """Partition ``groups`` by the sorted distinct ``values``.
+
+        ``values`` may be a superset of the values present (the sample
+        partition is aligned to the full table's group values); absent
+        groups get empty slices.  When omitted, the distinct values are
+        derived from the sort's own change points — one O(N log N) pass
+        total, where ``np.unique`` would sort the column a second time.
+        """
+        groups = np.asarray(groups)
+        order = np.argsort(groups, kind="stable")
+        sorted_groups = groups[order]
+        if values is None:
+            if sorted_groups.shape[0]:
+                change = np.concatenate(
+                    ([True], sorted_groups[1:] != sorted_groups[:-1])
+                )
+                values = sorted_groups[change]
+                starts = np.flatnonzero(change)
+            else:
+                values = sorted_groups
+                starts = np.zeros(0, dtype=np.int64)
+        else:
+            starts = np.searchsorted(sorted_groups, values, side="left")
+        offsets = np.concatenate(
+            (starts, [groups.shape[0]])
+        ).astype(np.int64)
+        return cls(order=order, offsets=offsets, values=values)
+
+    @property
+    def counts(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def rows(self, g: int) -> np.ndarray:
+        """Original row indices of group ``g``, in original order."""
+        return self.order[self.offsets[g]:self.offsets[g + 1]]
+
+
+def segmented_quantiles(
+    sorted_flat: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    qs: np.ndarray,
+) -> np.ndarray:
+    """``np.quantile(x_g, qs)`` for many groups in one pass, bit-exact.
+
+    ``sorted_flat`` holds each group's values ascending, group ``g``
+    occupying ``sorted_flat[starts[g]:starts[g] + counts[g]]``.  The
+    virtual index, gamma and two-branch lerp replicate numpy's ``linear``
+    interpolation operation for operation, so results match per-group
+    ``np.quantile`` calls bitwise — which keeps downstream ``np.unique``
+    knot deduplication in agreement with the scalar trainer even when
+    quantiles tie.
+    """
+    qs = np.asarray(qs, dtype=np.float64)
+    virtual = (counts.astype(np.float64) - 1.0)[:, None] * qs[None, :]
+    prev = np.floor(virtual)
+    gamma = virtual - prev
+    prev_idx = prev.astype(np.int64)
+    next_idx = np.minimum(prev_idx + 1, (counts - 1)[:, None])
+    base = starts[:, None]
+    a = sorted_flat[base + prev_idx]
+    b = sorted_flat[base + next_idx]
+    diff = b - a
+    out = a + diff * gamma
+    np.copyto(out, b - diff * (1.0 - gamma), where=gamma >= 0.5)
+    return out
+
+
+def _dedup_sorted_rows(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row keep mask and kept counts for row-wise sorted matrices.
+
+    Equivalent to ``np.unique`` per row (quantile vectors are already
+    non-decreasing, so deduplication is consecutive).
+    """
+    keep = np.ones(matrix.shape, dtype=bool)
+    keep[:, 1:] = matrix[:, 1:] != matrix[:, :-1]
+    return keep, keep.sum(axis=1)
+
+
+# -- density fitting ---------------------------------------------------------
+
+
+def _fit_densities(
+    xs: np.ndarray,
+    offsets: np.ndarray,
+    xs_sorted: np.ndarray | None,
+    config: DBEstConfig,
+    template: KernelDensityEstimator,
+) -> dict:
+    """Fit every modelled group's 1-D KDE in shared vectorised passes.
+
+    Returns per-group arrays (``h``, support, point-mass flags) plus the
+    ragged centre/weight arrays, all replicating
+    :meth:`KernelDensityEstimator.fit` on each group's slice.
+    """
+    counts = np.diff(offsets)
+    starts = offsets[:-1]
+    m = counts.shape[0]
+    if not np.all(np.isfinite(xs)):
+        raise ModelTrainingError("KDE training data contains non-finite values")
+    lo = np.minimum.reduceat(xs, starts)
+    hi = np.maximum.reduceat(xs, starts)
+    nf = counts.astype(np.float64)
+
+    # Bandwidths: Scott / Silverman via segmented moments, or a shared
+    # fixed float.  The degenerate-spread fallback mirrors the scalar
+    # rules (max(|x[0]|, 1) * 1e-3).
+    if isinstance(config.kde_bandwidth, str):
+        mean = np.add.reduceat(xs, starts) / nf
+        dev2 = xs - np.repeat(mean, counts)
+        dev2 *= dev2
+        sigma = np.sqrt(np.add.reduceat(dev2, starts) / nf)
+        first_abs = np.maximum(np.abs(xs[starts]), 1.0) * 1e-3
+        if config.kde_bandwidth == "scott":
+            spread = np.where(sigma == 0.0, first_abs, sigma)
+            h = spread * nf ** (-1.0 / 5.0)
+        else:  # silverman
+            quant = segmented_quantiles(
+                xs_sorted, starts, counts, np.asarray([0.75, 0.25])
+            )
+            iqr = quant[:, 0] - quant[:, 1]
+            spread = np.where(iqr > 0, np.minimum(sigma, iqr / 1.349), sigma)
+            spread = np.where(spread == 0.0, first_abs, spread)
+            h = 0.9 * spread * nf ** (-1.0 / 5.0)
+    else:
+        h = np.full(m, float(config.kde_bandwidth))
+
+    # Binned compression for large groups: one 2-D bincount over
+    # (group, bin) codes, replicating np.histogram's uniform-bin index
+    # arithmetic (including the edge-rounding corrections) bit for bit.
+    centres_2d = weights_2d = None
+    binned_sel = np.empty(0, dtype=np.int64)
+    binned_pos = np.full(m, -1, dtype=np.int64)
+    if config.kde_binned:
+        binned_sel = np.flatnonzero(counts > template.bin_threshold)
+    if binned_sel.size:
+        binned_pos[binned_sel] = np.arange(binned_sel.size)
+        n_bins = config.kde_bins
+        first = lo[binned_sel].copy()
+        last = hi[binned_sel].copy()
+        flat_range = first == last
+        first[flat_range] -= 0.5
+        last[flat_range] += 0.5
+        step = (last - first) / n_bins
+        edges = np.arange(n_bins + 1)[None, :] * step[:, None] + first[:, None]
+        edges[:, -1] = last
+        rows = _csr_take_rows(offsets, binned_sel)
+        xb = xs[rows]
+        local_g = np.repeat(np.arange(binned_sel.size), counts[binned_sel])
+        f_idx = ((xb - first[local_g]) / (last - first)[local_g]) * n_bins
+        idx = f_idx.astype(np.intp)
+        idx[idx == n_bins] -= 1
+        idx[xb < edges[local_g, idx]] -= 1
+        increment = (xb >= edges[local_g, idx + 1]) & (idx != n_bins - 1)
+        idx[increment] += 1
+        bin_counts = np.bincount(
+            local_g * n_bins + idx, minlength=binned_sel.size * n_bins
+        ).reshape(binned_sel.size, n_bins)
+        centres_2d = 0.5 * (edges[:, :-1] + edges[:, 1:])
+        weights_2d = bin_counts.astype(np.float64) / nf[binned_sel][:, None]
+        keep_2d = bin_counts > 0
+
+    # Degenerate (constant) columns become point masses; everyone else
+    # reflects kernels at the observed domain, exactly as the scalar fit.
+    span = hi - lo
+    degenerate = span <= 1e-12 * np.maximum(
+        1.0, np.maximum(np.abs(lo), np.abs(hi))
+    )
+    reflect = ~degenerate
+    pad = 4.0 * h
+    sup_lo = np.where(reflect, lo, lo - pad)
+    sup_hi = np.where(reflect, hi, hi + pad)
+
+    # Uniform per-point weights for all unbinned groups in one pass.
+    flat_weights = np.repeat(1.0 / nf, counts)
+    centres_list: list[np.ndarray] = []
+    weights_list: list[np.ndarray] = []
+    for g in range(m):
+        b = binned_pos[g]
+        if b >= 0:
+            keep = keep_2d[b]
+            centres_list.append(centres_2d[b][keep])
+            weights_list.append(weights_2d[b][keep])
+        else:
+            seg = slice(starts[g], starts[g] + counts[g])
+            centres_list.append(xs[seg].copy())
+            weights_list.append(flat_weights[seg].copy())
+    return {
+        "centres": centres_list,
+        "weights": weights_list,
+        "h": h,
+        "lo": lo,
+        "hi": hi,
+        "sup_lo": sup_lo,
+        "sup_hi": sup_hi,
+        "reflect": reflect,
+        "degenerate": degenerate,
+    }
+
+
+# -- stacked linear-algebra regressors ---------------------------------------
+
+
+def _batched_gram(
+    design: np.ndarray, y: np.ndarray, local_offsets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-group Gram matrices and right-hand sides from a flat design.
+
+    Equal-sized groups reshape into a ``(G, n, k)`` stack and go through
+    one ``np.einsum``; ragged groups take blocked outer products reduced
+    with ``np.add.reduceat`` under a fixed element budget.
+    """
+    counts = np.diff(local_offsets)
+    k = design.shape[1]
+    if counts.size and np.all(counts == counts[0]):
+        stacked = design.reshape(counts.size, counts[0], k)
+        gram = np.einsum("gni,gnj->gij", stacked, stacked)
+        rhs = np.einsum("gni,gn->gi", stacked, y.reshape(counts.size, counts[0]))
+        return gram, rhs
+    gram = np.empty((counts.size, k, k))
+    rhs = np.add.reduceat(design * y[:, None], local_offsets[:-1], axis=0)
+    chunk_starts = _chunk_by_budget(counts * (k * k), _BLOCK_ELEMENTS)
+    for g0, g1 in zip(chunk_starts[:-1], chunk_starts[1:]):
+        r0, r1 = local_offsets[g0], local_offsets[g1]
+        block = design[r0:r1]
+        products = block[:, :, None] * block[:, None, :]
+        gram[g0:g1] = np.add.reduceat(
+            products, local_offsets[g0:g1] - r0, axis=0
+        )
+    return gram, rhs
+
+
+def _solve_stacked(
+    design: np.ndarray,
+    y: np.ndarray,
+    local_offsets: np.ndarray,
+) -> np.ndarray:
+    """Least-squares coefficients for every group sharing one design width.
+
+    Well-conditioned groups: one stacked ``np.linalg.solve`` of the
+    normal equations plus two iterative-refinement sweeps against the
+    least-squares residual (empirically within ~1e-13 of lstsq).  Groups
+    whose refinement step is large or non-finite — ill-conditioned or
+    rank-deficient designs — fall back to per-group ``np.linalg.lstsq``
+    on the same design rows, bit-identical to the scalar trainer.
+    """
+    counts = np.diff(local_offsets)
+    nb = counts.size
+    k = design.shape[1]
+    gram, rhs = _batched_gram(design, y, local_offsets)
+    solvable = np.ones(nb, dtype=bool)
+    try:
+        solved = np.linalg.solve(gram, rhs[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        # Some group is exactly singular (LU hit a zero pivot): identify
+        # the positive-definite subset and solve only it.  Rare path.
+        eigenvalues = np.linalg.eigvalsh(gram)
+        solvable = eigenvalues[:, 0] > 0
+        solved = np.zeros((nb, k))
+        if solvable.any():
+            solved[solvable] = np.linalg.solve(
+                gram[solvable], rhs[solvable][..., None]
+            )[..., 0]
+
+    coef = np.empty((nb, k))
+    good = np.zeros(nb, dtype=bool)
+    if solvable.any():
+        si = np.flatnonzero(solvable)
+        local_group = np.repeat(np.arange(nb), counts)
+        if solvable.all():
+            design_s, y_s = design, y
+            offsets_s = local_offsets
+            row_map = local_group
+        else:
+            rows_mask = solvable[local_group]
+            design_s = design[rows_mask]
+            y_s = y[rows_mask]
+            offsets_s = np.concatenate(([0], np.cumsum(counts[si])))
+            inverse = np.empty(nb, dtype=np.int64)
+            inverse[si] = np.arange(si.size)
+            row_map = inverse[local_group[rows_mask]]
+        # Two refinement sweeps: the first recovers most of the
+        # normal-equation error, the second polishes well-conditioned
+        # groups to ~1e-13 of lstsq; the final step size certifies it.
+        refined = solved[si]
+        step = np.zeros(si.size)
+        for _ in range(2):
+            residual = y_s - np.einsum("nk,nk->n", design_s, refined[row_map])
+            correction = np.add.reduceat(
+                design_s * residual[:, None], offsets_s[:-1], axis=0
+            )
+            delta = np.linalg.solve(gram[si], correction[..., None])[..., 0]
+            refined = refined + delta
+            with np.errstate(invalid="ignore"):
+                step = np.abs(delta).max(axis=1) / np.maximum(
+                    np.abs(refined).max(axis=1), 1.0
+                )
+        accepted = np.isfinite(refined).all(axis=1) & np.isfinite(step)
+        accepted &= step <= _REFINE_LIMIT
+        good[si[accepted]] = True
+        coef[si[accepted]] = refined[accepted]
+    for g in np.flatnonzero(~good).tolist():
+        seg = slice(local_offsets[g], local_offsets[g + 1])
+        coef[g], *_ = np.linalg.lstsq(design[seg], y[seg], rcond=None)
+    return coef
+
+
+def _fit_stacked_regressors(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    offsets: np.ndarray,
+    xs_sorted: np.ndarray,
+    kind: str,
+    n_knots: int,
+) -> tuple[list[np.ndarray], list[np.ndarray] | None, np.ndarray]:
+    """Fit all groups' OLS / piecewise-linear regressors in stacked solves.
+
+    Returns per-group coefficient arrays, per-group knot arrays (PLR
+    only), and the flat in-sample predictions the residual-variance pass
+    reuses.  Groups are bucketed by design width ``k`` (quantile-knot
+    collisions shrink some groups' bases), each bucket solved as one
+    ``(G_k, k, k)`` stack.
+    """
+    counts = np.diff(offsets)
+    starts = offsets[:-1]
+    m = counts.shape[0]
+    if kind == "plr":
+        qs = np.linspace(0.0, 1.0, n_knots + 2)[1:-1]
+        quantile_knots = segmented_quantiles(xs_sorted, starts, counts, qs)
+        keep, kept_counts = _dedup_sorted_rows(quantile_knots)
+        widths = kept_counts + 2
+    else:
+        widths = np.full(m, 2, dtype=np.int64)
+
+    coefs: list[np.ndarray] = [None] * m  # type: ignore[list-item]
+    knots_out: list[np.ndarray] | None = [None] * m if kind == "plr" else None
+    pred = np.empty_like(xs)
+    for k in np.unique(widths).tolist():
+        sel = np.flatnonzero(widths == k)
+        rows = _csr_take_rows(offsets, sel)
+        xk = xs[rows]
+        yk = ys[rows]
+        ck = counts[sel]
+        local_offsets = np.concatenate(([0], np.cumsum(ck)))
+        design = np.empty((xk.shape[0], k))
+        design[:, 0] = 1.0
+        design[:, 1] = xk
+        if kind == "plr":
+            kept = quantile_knots[sel][keep[sel]].reshape(sel.size, k - 2)
+            knot_rows = np.repeat(kept, ck, axis=0)
+            np.maximum(0.0, xk[:, None] - knot_rows, out=design[:, 2:])
+        coef = _solve_stacked(design, yk, local_offsets)
+        coef_rows = coef[np.repeat(np.arange(sel.size), ck)]
+        pred[rows] = np.einsum("nk,nk->n", design, coef_rows)
+        for i, g in enumerate(sel.tolist()):
+            coefs[g] = coef[i]
+            if knots_out is not None:
+                knots_out[g] = kept[i]
+    return coefs, knots_out, pred
+
+
+# -- residual-variance state -------------------------------------------------
+
+
+def _fit_residual_states(
+    xs: np.ndarray,
+    offsets: np.ndarray,
+    xs_sorted: np.ndarray,
+    residual_sq: np.ndarray,
+) -> tuple[list, list, np.ndarray]:
+    """Var(y|x) bins for every group, batched.
+
+    Replicates :meth:`ColumnSetModel._fit_residual_variance`: quantile
+    bin edges (deduplicated), per-bin residual second moments via one
+    global ``np.bincount``, global fallback for empty bins.
+    """
+    counts = np.diff(offsets)
+    starts = offsets[:-1]
+    m = counts.shape[0]
+    global_var = np.add.reduceat(residual_sq, starts) / counts
+    bin_counts = np.maximum(4, np.minimum(64, counts // 50))
+    edges_out: list = [None] * m
+    var_out: list = [None] * m
+    for n_bins in np.unique(bin_counts).tolist():
+        sel = np.flatnonzero(bin_counts == n_bins)
+        qs = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+        quant = segmented_quantiles(xs_sorted, starts[sel], counts[sel], qs)
+        keep, kept_counts = _dedup_sorted_rows(quant)
+        for n_edges in np.unique(kept_counts).tolist():
+            inner = kept_counts == n_edges
+            ssel = sel[inner]
+            edges = quant[inner][keep[inner]].reshape(ssel.size, n_edges)
+            rows = _csr_take_rows(offsets, ssel)
+            xr = xs[rows]
+            rr = residual_sq[rows]
+            local_g = np.repeat(np.arange(ssel.size), counts[ssel])
+            # codes = searchsorted(edges_g, x, side="left"): the number
+            # of edges strictly below x, computed with exact comparisons
+            # in blocks so ties land in the same bin as the scalar path.
+            codes = np.empty(xr.shape[0], dtype=np.int64)
+            block = max(1, _BLOCK_ELEMENTS // max(n_edges, 1))
+            for r0 in range(0, xr.shape[0], block):
+                r1 = min(r0 + block, xr.shape[0])
+                codes[r0:r1] = (
+                    edges[local_g[r0:r1]] < xr[r0:r1, None]
+                ).sum(axis=1)
+            flat_codes = local_g * (n_edges + 1) + codes
+            length = ssel.size * (n_edges + 1)
+            counts_bins = np.bincount(flat_codes, minlength=length)
+            sums_bins = np.bincount(flat_codes, weights=rr, minlength=length)
+            counts_bins = counts_bins.reshape(ssel.size, n_edges + 1)
+            sums_bins = sums_bins.reshape(ssel.size, n_edges + 1)
+            with np.errstate(invalid="ignore"):
+                per_bin = np.where(
+                    counts_bins > 0,
+                    sums_bins / np.maximum(counts_bins, 1),
+                    global_var[ssel][:, None],
+                )
+            for i, g in enumerate(ssel.tolist()):
+                edges_out[g] = edges[i]
+                var_out[g] = per_bin[i]
+    return edges_out, var_out, global_var
+
+
+# -- nonlinear regressors (chunked map_parallel fallback) --------------------
+
+
+def _fit_regressor_chunk(payload: tuple) -> list:
+    """Fit one chunk of (x, y) group samples (module-level: picklable)."""
+    from repro.core.parallel import limit_blas_threads
+
+    limit_blas_threads(1)
+    pairs, config = payload
+    fitted = []
+    for x, y in pairs:
+        regressor = _make_regressor(config)
+        regressor.fit(x, y)
+        fitted.append(regressor)
+    return fitted
+
+
+def _fit_generic_regressors(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    offsets: np.ndarray,
+    config: DBEstConfig,
+) -> list:
+    """Fit nonlinear per-group regressors, fanned over row-weighted chunks.
+
+    Tree and boosted models have no stacked closed form; the fits are the
+    same calls the scalar trainer makes (hence bit-identical models), but
+    grouped into ``map_parallel`` chunks balanced by row count so a pool
+    can overlap them.
+    """
+    counts = np.diff(offsets)
+    segments = [
+        (xs[offsets[g]:offsets[g + 1]], ys[offsets[g]:offsets[g + 1]])
+        for g in range(counts.shape[0])
+    ]
+    workers = config.n_workers
+    if workers <= 1 or len(segments) <= 1:
+        return _fit_regressor_chunk((segments, config))
+    bounds = chunk_bounds_weighted(counts.tolist(), workers)
+    payloads = [(segments[a:b], config) for a, b in bounds]
+    results = map_parallel(
+        _fit_regressor_chunk, payloads, workers=workers,
+        mode=config.parallel_mode,
+    )
+    return [regressor for chunk in results for regressor in chunk]
+
+
+# -- orchestration -----------------------------------------------------------
+
+
+def train_batched_models(
+    sample_x: np.ndarray,
+    sample_y: np.ndarray | None,
+    sample_part: GroupPartition,
+    modelled_mask: np.ndarray,
+    table_name: str,
+    x_columns: tuple[str, ...],
+    y_column: str | None,
+    population: dict,
+    config: DBEstConfig,
+) -> dict | None:
+    """Build the ``models`` dict of a GroupByModelSet in batched passes.
+
+    Returns None when the set cannot be batch-trained (multivariate
+    predicates) so the caller falls back to the scalar loop.  ``sample_x``
+    must already be a float64 ``(n, d)`` matrix and ``sample_part`` the
+    sample's :class:`GroupPartition` aligned to the full table's group
+    values; ``modelled_mask`` flags the groups whose sample is large
+    enough to model (the rest stay raw).
+    """
+    if sample_x.shape[1] != 1:
+        return None
+    modelled = np.flatnonzero(modelled_mask)
+    if modelled.size == 0:
+        return {}
+    # Validates the KDE configuration once (the scalar path validates it
+    # per group) and supplies the class defaults the trainer mirrors.
+    template = KernelDensityEstimator(
+        bandwidth=config.kde_bandwidth,
+        binned=config.kde_binned,
+        n_bins=config.kde_bins,
+    )
+
+    # One gather collects all modelled rows in group-major original order.
+    source_rows = sample_part.order[
+        _csr_take_rows(sample_part.offsets, modelled)
+    ]
+    xs = sample_x[:, 0][source_rows]
+    offsets = np.concatenate(
+        ([0], np.cumsum(sample_part.counts[modelled]))
+    ).astype(np.int64)
+    counts = np.diff(offsets)
+
+    fit_regressors = sample_y is not None and y_column is not None
+    stacked = fit_regressors and config.regressor in _STACKED_REGRESSORS
+    needs_sorted = stacked or config.kde_bandwidth == "silverman"
+    xs_sorted = None
+    if needs_sorted:
+        group_ids = np.repeat(np.arange(modelled.size), counts)
+        xs_sorted = xs[np.lexsort((xs, group_ids))]
+
+    density_state = _fit_densities(xs, offsets, xs_sorted, config, template)
+
+    ys = None
+    regressors: list = [None] * modelled.size
+    residual_edges: list = [None] * modelled.size
+    residual_var: list = [None] * modelled.size
+    residual_global = np.zeros(modelled.size)
+    generic = False
+    if fit_regressors:
+        ys = np.asarray(sample_y, dtype=np.float64).ravel()[source_rows]
+        if stacked:
+            n_knots = PiecewiseLinearRegressor().n_knots
+            coefs, knots, pred = _fit_stacked_regressors(
+                xs, ys, offsets, xs_sorted, config.regressor, n_knots
+            )
+            if config.regressor == "plr":
+                regressors = [
+                    PiecewiseLinearRegressor.from_state(
+                        knots[g], coefs[g], n_knots=n_knots
+                    )
+                    for g in range(modelled.size)
+                ]
+            else:
+                regressors = [
+                    LinearRegressor.from_coef(coefs[g])
+                    for g in range(modelled.size)
+                ]
+            residual_sq = ys - pred
+            residual_sq *= residual_sq
+            residual_edges, residual_var, residual_global = (
+                _fit_residual_states(xs, offsets, xs_sorted, residual_sq)
+            )
+        else:
+            generic = True
+            regressors = _fit_generic_regressors(xs, ys, offsets, config)
+
+    models: dict = {}
+    values = (
+        sample_part.values.tolist()
+        if hasattr(sample_part.values, "tolist")
+        else list(sample_part.values)
+    )
+    for i, g in enumerate(modelled.tolist()):
+        value = values[g]
+        density = KernelDensityEstimator.from_fit_state(
+            centres=density_state["centres"][i],
+            weights=density_state["weights"][i],
+            h=density_state["h"][i],
+            support=(density_state["sup_lo"][i], density_state["sup_hi"][i]),
+            reflect=bool(density_state["reflect"][i]),
+            point_mass=(
+                float(density_state["lo"][i])
+                if density_state["degenerate"][i]
+                else None
+            ),
+            n_train=int(counts[i]),
+            bandwidth=config.kde_bandwidth,
+            binned=config.kde_binned,
+            n_bins=config.kde_bins,
+            bin_threshold=template.bin_threshold,
+        )
+        model = ColumnSetModel.from_fitted_parts(
+            table_name=table_name,
+            x_columns=tuple(x_columns),
+            y_column=y_column,
+            population_size=population[value],
+            density=density,
+            regressor=regressors[i],
+            x_domain=[
+                (float(density_state["lo"][i]), float(density_state["hi"][i]))
+            ],
+            n_sample=int(counts[i]),
+            config=config,
+            residual_edges=residual_edges[i],
+            residual_var=residual_var[i],
+            residual_var_global=float(residual_global[i]),
+        )
+        if generic and regressors[i] is not None:
+            # Nonlinear regressors have no stacked residual form; this is
+            # the scalar trainer's own pass on the same data.
+            seg = slice(offsets[i], offsets[i + 1])
+            model._fit_residual_variance(xs[seg][:, None], ys[seg])
+        models[value] = model
+    return models

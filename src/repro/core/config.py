@@ -49,6 +49,15 @@ class DBEstConfig:
         loop.  Sets the batched path cannot stack (multivariate
         predicates, adaptive quadrature, exotic densities) silently fall
         back to the scalar loop regardless of this flag.
+    batched_train:
+        Build GROUP BY model sets with the batched trainer
+        (:mod:`repro.core.batched_train`): one sorted partition of the
+        sample, all KDEs from segmented reductions and one 2-D bincount,
+        all OLS/piecewise-linear regressors from stacked normal
+        equations.  Sets it cannot batch (multivariate predicates)
+        silently fall back to the per-group training loop regardless of
+        this flag; nonlinear regressors keep batched density fitting but
+        fit per group through chunked ``map_parallel``.
     random_seed:
         Seed for sampling and model training; None draws fresh entropy.
     """
@@ -65,6 +74,7 @@ class DBEstConfig:
     n_workers: int = 1
     parallel_mode: str = "process"
     batched_groupby: bool = True
+    batched_train: bool = True
     random_seed: int | None = field(default=None)
 
     def __post_init__(self) -> None:

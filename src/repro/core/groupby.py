@@ -21,6 +21,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.core.aggregates import Ranges, answer_aggregate
+from repro.core.batched_train import GroupPartition, train_batched_models
 from repro.core.config import DBEstConfig
 from repro.core.model import ColumnSetModel
 from repro.core.parallel import chunk_items, map_parallel
@@ -168,6 +169,7 @@ class GroupByModelSet:
         group_column: str,
         config: DBEstConfig | None = None,
         population_scale: float = 1.0,
+        batched: bool | None = None,
     ) -> "GroupByModelSet":
         """Build per-group models from a uniform sample.
 
@@ -178,50 +180,99 @@ class GroupByModelSet:
         for under-represented groups.  ``population_scale`` > 1 marks
         ``full_*`` as itself being a sample of a ``scale``-times-larger
         population (join models).
+
+        Training defaults to the batched trainer
+        (:mod:`repro.core.batched_train`), which partitions the sample
+        once and fits every group's density and regressor in shared
+        vectorised passes; the per-group loop below remains as the parity
+        oracle, as the fallback for sets the batched trainer cannot stack
+        (multivariate predicates), and as an explicit opt-out
+        (``batched=False`` or ``DBEstConfig(batched_train=False)``).
+        Either way both trainers and the ``RawGroup`` collection share
+        one sorted partition per table — no path re-scans the sample or
+        the full data per group.
         """
         config = config or DBEstConfig()
         sample_x = np.asarray(sample_x, dtype=np.float64)
         if sample_x.ndim == 1:
             sample_x = sample_x[:, None]
 
-        group_values, full_counts = np.unique(full_groups, return_counts=True)
+        # One sorted partition of the full table supplies the group
+        # census (distinct values + population counts) and, below, the
+        # RawGroup row slices — np.unique plus per-group masking would
+        # sort and scan the table once more each.
+        full_part = GroupPartition.from_groups(full_groups)
+        group_values = full_part.values
+        full_counts = full_part.counts
         if group_values.shape[0] > config.max_groups:
             raise ModelTrainingError(
                 f"{group_values.shape[0]} groups exceeds max_groups="
                 f"{config.max_groups}; paper-style fallback to another engine"
             )
+        values_list = group_values.tolist()
         population = {
             value: int(round(count * population_scale))
-            for value, count in zip(group_values.tolist(), full_counts.tolist())
+            for value, count in zip(values_list, full_counts.tolist())
         }
 
-        models: dict = {}
+        sample_part = GroupPartition.from_groups(
+            sample_groups, values=group_values
+        )
+        modelled_mask = sample_part.counts >= config.min_group_rows
+
+        # Raw groups: contiguous slices of one sorted pass over the full
+        # table (stable sort keeps each group's original row order, so
+        # the arrays match what the old per-group boolean masks built).
         raw_groups: dict = {}
-        for value in group_values.tolist():
-            in_sample = sample_groups == value
-            n_in_sample = int(in_sample.sum())
-            if n_in_sample < config.min_group_rows:
-                in_full = full_groups == value
-                fx = np.asarray(full_x, dtype=np.float64)
-                fx = fx[in_full] if fx.ndim == 1 else fx[in_full, :]
-                fy = None if full_y is None else np.asarray(full_y)[in_full]
-                raw_groups[value] = RawGroup(
-                    fx, fy, population_scale=population_scale
+        raw_indices = np.flatnonzero(~modelled_mask)
+        if raw_indices.size:
+            fx = np.asarray(full_x, dtype=np.float64)
+            fy = None if full_y is None else np.asarray(full_y)
+            for g in raw_indices.tolist():
+                rows = full_part.rows(g)
+                gx = fx[rows] if fx.ndim == 1 else fx[rows, :]
+                raw_groups[values_list[g]] = RawGroup(
+                    gx,
+                    None if fy is None else fy[rows],
+                    population_scale=population_scale,
                 )
-                continue
-            gx = sample_x[in_sample]
-            if gx.shape[1] == 1:
-                gx = gx[:, 0]
-            gy = None if sample_y is None else np.asarray(sample_y)[in_sample]
-            models[value] = ColumnSetModel.train(
-                gx,
-                gy,
+
+        use_batched = (
+            batched
+            if batched is not None
+            else getattr(config, "batched_train", True)
+        )
+        models: dict | None = None
+        if use_batched:
+            models = train_batched_models(
+                sample_x,
+                sample_y,
+                sample_part,
+                modelled_mask,
                 table_name=table_name,
                 x_columns=tuple(x_columns),
                 y_column=y_column,
-                population_size=population[value],
+                population=population,
                 config=config,
             )
+        if models is None:
+            models = {}
+            sample_y_arr = None if sample_y is None else np.asarray(sample_y)
+            for g in np.flatnonzero(modelled_mask).tolist():
+                rows = sample_part.rows(g)
+                gx = sample_x[rows, :]
+                if gx.shape[1] == 1:
+                    gx = gx[:, 0]
+                gy = None if sample_y_arr is None else sample_y_arr[rows]
+                models[values_list[g]] = ColumnSetModel.train(
+                    gx,
+                    gy,
+                    table_name=table_name,
+                    x_columns=tuple(x_columns),
+                    y_column=y_column,
+                    population_size=population[values_list[g]],
+                    config=config,
+                )
         return cls(
             table_name=table_name,
             x_columns=tuple(x_columns),

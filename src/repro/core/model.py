@@ -167,6 +167,48 @@ class ColumnSetModel:
             model._fit_residual_variance(x_matrix, y)
         return model
 
+    @classmethod
+    def from_fitted_parts(
+        cls,
+        *,
+        table_name: str,
+        x_columns: tuple[str, ...],
+        y_column: str | None,
+        population_size: int,
+        density,
+        regressor,
+        x_domain: list[tuple[float, float]],
+        n_sample: int,
+        config: DBEstConfig,
+        residual_edges: np.ndarray | None = None,
+        residual_var: np.ndarray | None = None,
+        residual_var_global: float = 0.0,
+    ) -> "ColumnSetModel":
+        """Assemble a model from pre-fitted components.
+
+        The batched trainer (:mod:`repro.core.batched_train`) fits every
+        group's density, regressor and residual-variance state in shared
+        vectorised passes and builds the per-group model objects through
+        this constructor; the result matches :meth:`train` on the same
+        sample.  ``residual_*`` may be omitted for density-only models.
+        """
+        model = cls(
+            table_name=table_name,
+            x_columns=tuple(x_columns),
+            y_column=y_column,
+            population_size=population_size,
+            density=density,
+            regressor=regressor,
+            x_domain=list(x_domain),
+            n_sample=n_sample,
+            integration_points=config.integration_points,
+            integration_method=config.integration_method,
+        )
+        model._residual_edges = residual_edges
+        model._residual_var = residual_var
+        model._residual_var_global = float(residual_var_global)
+        return model
+
     def _fit_residual_variance(self, x_matrix: np.ndarray, y: np.ndarray) -> None:
         """Estimate Var(y | x) from training residuals.
 

@@ -215,6 +215,26 @@ class EnsembleRegressor:
                 out[i] = values
         return out
 
+    def export_constituent_states(self) -> dict[str, tuple] | None:
+        """Batch state for every constituent, keyed by name, or None.
+
+        Batched group-by evaluators stack each constituent across groups
+        so a query can route every group through its *selected* model and
+        still evaluate each constituent family in one vectorised pass.
+        Returns None when any constituent cannot export a stackable state
+        (multivariate fits, unknown estimator types).
+        """
+        if not self.models_:
+            raise ModelTrainingError("ensemble used before fit()")
+        states: dict[str, tuple] = {}
+        for name, model in self.models_.items():
+            export = getattr(model, "export_batch_state", None)
+            state = export() if export is not None else None
+            if state is None:
+                return None
+            states[name] = state
+        return states
+
     @property
     def constituent_names(self) -> list[str]:
         return list(self.models_)

@@ -132,6 +132,33 @@ class GradientBoostingRegressor:
         splits = np.cumsum([np.asarray(g).shape[0] for g in grids])[:-1]
         return np.split(values, splits)
 
+    def export_batch_state(self) -> tuple | None:
+        """Flat ``("forest", ...)`` state for stacking into batched evaluators.
+
+        Concatenates every stage's node arrays (child indices stay
+        tree-local; ``offsets`` maps tree ordinals to flat node ranges) so
+        a batched evaluator can traverse many groups' boosters in
+        lock-step.  Returns None for multivariate fits.
+        """
+        if not self._trees:
+            raise ModelTrainingError("gradient boosting model used before fit()")
+        per_tree = [tree.export_batch_state() for tree in self._trees]
+        if any(state is None for state in per_tree):
+            return None
+        counts = [state[4].shape[0] for state in per_tree]
+        offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        return (
+            "forest",
+            self._base,
+            self.learning_rate,
+            offsets,
+            np.concatenate([state[4] for state in per_tree]),
+            np.concatenate([state[5] for state in per_tree]),
+            np.concatenate([state[6] for state in per_tree]),
+            np.concatenate([state[7] for state in per_tree]),
+            np.concatenate([state[8] for state in per_tree]),
+        )
+
     def staged_predict(self, X: np.ndarray, every: int = 1):
         """Yield predictions after each ``every`` stages (for diagnostics)."""
         X = np.asarray(X, dtype=np.float64)

@@ -164,6 +164,48 @@ class KernelDensityEstimator:
             self._support = (lo - pad, hi + pad)
         return self
 
+    @classmethod
+    def from_fit_state(
+        cls,
+        centres: np.ndarray,
+        weights: np.ndarray,
+        h: float,
+        support: tuple[float, float],
+        reflect: bool,
+        point_mass: float | None,
+        n_train: int,
+        bandwidth: str | float = "scott",
+        binned: bool = True,
+        n_bins: int = 2048,
+        bin_threshold: int = 5000,
+    ) -> "KernelDensityEstimator":
+        """Construct a fitted estimator from precomputed mixture state.
+
+        The batched trainer (:mod:`repro.core.batched_train`) computes
+        every group's centres, weights and bandwidth in shared vectorised
+        passes and assembles estimators through this constructor; the
+        result is indistinguishable from :meth:`fit` on the same data.
+        Constructor arguments are validated exactly as in ``__init__``;
+        the state arrays are adopted as-is (pass copies if the caller
+        keeps mutable references).
+        """
+        boundary = "reflect" if reflect or point_mass is not None else "none"
+        est = cls(
+            bandwidth=bandwidth,
+            binned=binned,
+            n_bins=n_bins,
+            bin_threshold=bin_threshold,
+            boundary=boundary,
+        )
+        est._centres = np.asarray(centres, dtype=np.float64)
+        est._weights = np.asarray(weights, dtype=np.float64)
+        est._h = float(h)
+        est._support = (float(support[0]), float(support[1]))
+        est._reflect = bool(reflect)
+        est._point_mass = None if point_mass is None else float(point_mass)
+        est.n_train = int(n_train)
+        return est
+
     @property
     def is_fitted(self) -> bool:
         return self._centres is not None

@@ -33,6 +33,22 @@ class LinearRegressor:
         self._coef, *_ = np.linalg.lstsq(design, y, rcond=None)
         return self
 
+    @classmethod
+    def from_coef(cls, coef: np.ndarray) -> "LinearRegressor":
+        """Construct a fitted model from ``[intercept, slopes...]``.
+
+        Used by the batched trainer, which solves all groups' normal
+        equations in one stacked pass and assembles the per-group models
+        from the coefficient rows.
+        """
+        model = cls()
+        model._coef = np.asarray(coef, dtype=np.float64).ravel()
+        if model._coef.shape[0] < 2:
+            raise ModelTrainingError(
+                f"linear coefficients need >= 2 entries, got {model._coef.shape[0]}"
+            )
+        return model
+
     @property
     def is_fitted(self) -> bool:
         return self._coef is not None
@@ -103,6 +119,28 @@ class PiecewiseLinearRegressor:
         design = self._design(x)
         self._coef, *_ = np.linalg.lstsq(design, y, rcond=None)
         return self
+
+    @classmethod
+    def from_state(
+        cls, knots: np.ndarray, coef: np.ndarray, n_knots: int = 8
+    ) -> "PiecewiseLinearRegressor":
+        """Construct a fitted spline from its knot and coefficient arrays.
+
+        ``coef`` is ``[intercept, slope, hinge coefficients...]`` with one
+        hinge coefficient per knot (the :meth:`export_batch_state`
+        layout); ``n_knots`` records the *requested* knot count, which may
+        exceed ``len(knots)`` when quantile knots collided.  Used by the
+        batched trainer to assemble per-group models from stacked solves.
+        """
+        model = cls(n_knots=n_knots)
+        model._knots = np.asarray(knots, dtype=np.float64).ravel()
+        model._coef = np.asarray(coef, dtype=np.float64).ravel()
+        if model._coef.shape[0] != model._knots.shape[0] + 2:
+            raise ModelTrainingError(
+                f"{model._coef.shape[0]} coefficients do not match "
+                f"{model._knots.shape[0]} knots (+ intercept and slope)"
+            )
+        return model
 
     def _design(self, x: np.ndarray) -> np.ndarray:
         hinges = np.maximum(0.0, x[:, None] - self._knots[None, :])

@@ -231,6 +231,34 @@ class DecisionTreeRegressor:
         splits = np.cumsum([np.asarray(g).shape[0] for g in grids])[:-1]
         return np.split(values, splits)
 
+    def export_batch_state(self) -> tuple | None:
+        """``("forest", base, lr, offsets, feature, threshold, left, right,
+        value)`` for stacking into batched evaluators, or None.
+
+        A single tree is a one-tree forest with base 0 and unit learning
+        rate.  Only 1-D models are stackable (every internal node must
+        split feature 0); multivariate fits return None so callers fall
+        back to per-model :meth:`predict`.
+        """
+        if self._nodes is None:
+            raise ModelTrainingError("tree used before fit()")
+        nodes = self._nodes
+        internal = nodes["feature"] >= 0
+        if np.any(nodes["feature"][internal] != 0):
+            return None
+        offsets = np.asarray([0, nodes["feature"].shape[0]], dtype=np.int64)
+        return (
+            "forest",
+            0.0,
+            1.0,
+            offsets,
+            nodes["feature"],
+            nodes["threshold"],
+            nodes["left"],
+            nodes["right"],
+            nodes["value"],
+        )
+
     @property
     def n_nodes(self) -> int:
         if self._nodes is None:

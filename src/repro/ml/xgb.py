@@ -268,3 +268,31 @@ class XGBRegressor:
         values = self.predict(flat)
         splits = np.cumsum([np.asarray(g).shape[0] for g in grids])[:-1]
         return np.split(values, splits)
+
+    def export_batch_state(self) -> tuple | None:
+        """Flat ``("forest", ...)`` state for stacking into batched evaluators.
+
+        Same layout as :meth:`GradientBoostingRegressor.export_batch_state
+        <repro.ml.gbm.GradientBoostingRegressor.export_batch_state>`:
+        concatenated node arrays with tree-local child indices and a flat
+        node-offset table.  Returns None for multivariate fits.
+        """
+        if not self._trees:
+            raise ModelTrainingError("XGB model used before fit()")
+        features = [tree._feature_arr for tree in self._trees]
+        for feature in features:
+            if np.any(feature[feature >= 0] != 0):
+                return None
+        counts = [feature.shape[0] for feature in features]
+        offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        return (
+            "forest",
+            self._base,
+            self.learning_rate,
+            offsets,
+            np.concatenate(features),
+            np.concatenate([tree._threshold_arr for tree in self._trees]),
+            np.concatenate([tree._left_arr for tree in self._trees]),
+            np.concatenate([tree._right_arr for tree in self._trees]),
+            np.concatenate([tree._value_arr for tree in self._trees]),
+        )

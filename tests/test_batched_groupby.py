@@ -379,6 +379,27 @@ class TestBatchExportHooks:
             np.testing.assert_array_equal(batch, model.predict(grid))
 
 
+class TestDeepForestTraversal:
+    def test_chain_shaped_tree_beyond_64_levels(self):
+        # Exponential y makes variance-reduction splits peel one row per
+        # level, producing a chain deeper than any fixed traversal bound;
+        # the lock-step pass must still reach every leaf (it is bounded
+        # by the largest tree's node count, which no path can exceed).
+        from repro.ml.tree import DecisionTreeRegressor
+
+        x = np.arange(300, dtype=np.float64)
+        y = np.power(1.5, np.arange(300))
+        tree = DecisionTreeRegressor(max_depth=1000, min_samples_leaf=1)
+        tree.fit(x, y)
+        forest = BatchedGroupEvaluator._stack_forest(
+            [tree.export_batch_state()]
+        )
+        got = BatchedGroupEvaluator._forest_predict(
+            forest, np.asarray([0]), x[None, :]
+        )
+        np.testing.assert_array_equal(got[0], tree.predict(x))
+
+
 class TestRawOnlySet:
     def test_raw_only_parity(self):
         """Sets made purely of raw groups go through the masked pass."""

@@ -1,0 +1,428 @@
+"""Parity suite: batched group-by *training* vs the per-group loop oracle.
+
+The scalar per-group training loop in ``GroupByModelSet.train`` is the
+reference implementation; the batched trainer
+(:mod:`repro.core.batched_train`) must produce the same models — KDE
+centres/weights/bandwidths, regressor coefficients and knots, residual
+variance state — to 1e-12, and the resulting model sets must answer
+every aggregate identically, across modelled groups, raw groups and
+point-mass columns.  The shared :class:`GroupPartition`, the segmented
+quantile kernel and the weighted chunking helper are unit-tested here
+too.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DBEstConfig, GroupByModelSet
+from repro.core.batched_train import (
+    GroupPartition,
+    segmented_quantiles,
+    train_batched_models,
+)
+from repro.core.model import ColumnSetModel
+from repro.core.parallel import chunk_bounds_weighted
+from repro.errors import InvalidParameterError
+from repro.sql.ast import AggregateCall
+
+RTOL = 1e-12
+ATOL = 1e-12
+
+
+def close(got, expected, context: str = "") -> None:
+    """1e-12 agreement (the issue's parameter-parity bound)."""
+    np.testing.assert_allclose(
+        np.asarray(got), np.asarray(expected),
+        rtol=RTOL, atol=ATOL, err_msg=context,
+    )
+
+
+def make_data(n_groups: int = 8, rows: int = 150, seed: int = 3):
+    """Mixed workload: modelled, point-mass-x and sample-starved groups."""
+    rng = np.random.default_rng(seed)
+    n = n_groups * rows
+    groups = np.repeat(np.arange(n_groups), rows)
+    x = rng.uniform(0.0, 100.0, size=n)
+    if n_groups > 3:
+        x[groups == 3] = 42.0  # constant column -> point-mass density
+    y = (groups + 1.0) * 0.1 * x + rng.normal(0.0, 1.0, size=n)
+    # Starve the last two groups in the sample so they become raw groups.
+    keep = np.ones(n, dtype=bool)
+    for value in (n_groups - 2, n_groups - 1):
+        idx = np.flatnonzero(groups == value)
+        keep[idx[12:]] = False
+    return x, y, groups, keep
+
+
+def train_pair(
+    regressor: str = "plr", seed: int = 3, y: bool = True, **config_kwargs
+) -> tuple[GroupByModelSet, GroupByModelSet]:
+    """The same sample trained through the batched and the loop path."""
+    x, ys, groups, keep = make_data(seed=seed)
+    config = DBEstConfig(
+        regressor=regressor, min_group_rows=30, random_seed=seed,
+        integration_points=65, **config_kwargs,
+    )
+    kwargs = dict(
+        sample_x=x[keep],
+        sample_y=ys[keep] if y else None,
+        sample_groups=groups[keep],
+        full_groups=groups, full_x=x, full_y=ys if y else None,
+        table_name="t", x_columns=("x",),
+        y_column="y" if y else None,
+        group_column="g", config=config,
+    )
+    return (
+        GroupByModelSet.train(batched=True, **kwargs),
+        GroupByModelSet.train(batched=False, **kwargs),
+    )
+
+
+def assert_density_parity(batched, scalar, context: str) -> None:
+    close(batched._centres, scalar._centres, f"{context}: centres")
+    close(batched._weights, scalar._weights, f"{context}: weights")
+    close(batched._h, scalar._h, f"{context}: bandwidth")
+    close(batched._support, scalar._support, f"{context}: support")
+    assert batched._reflect == scalar._reflect, context
+    assert (batched._point_mass is None) == (scalar._point_mass is None), context
+    if scalar._point_mass is not None:
+        close(batched._point_mass, scalar._point_mass, f"{context}: point mass")
+    assert batched.n_train == scalar.n_train, context
+
+
+def assert_regressor_parity(batched, scalar, context: str) -> None:
+    if scalar is None:
+        assert batched is None, context
+        return
+    assert type(batched) is type(scalar), context
+    coef = getattr(scalar, "_coef", None)
+    if coef is not None:
+        close(batched._coef, coef, f"{context}: coefficients")
+    knots = getattr(scalar, "_knots", None)
+    if knots is not None:
+        close(batched._knots, knots, f"{context}: knots")
+    # Nonlinear regressors (trees, boosters, ensembles) are fitted by the
+    # very same calls in both paths; their predictions must agree exactly.
+    grid = np.linspace(0.0, 100.0, 257)
+    close(batched.predict(grid), scalar.predict(grid),
+          f"{context}: predictions")
+
+
+def assert_model_parity(batched: ColumnSetModel, scalar: ColumnSetModel,
+                        context: str) -> None:
+    assert_density_parity(batched.density, scalar.density, context)
+    assert_regressor_parity(batched.regressor, scalar.regressor, context)
+    close(batched.x_domain, scalar.x_domain, f"{context}: domain")
+    assert batched.n_sample == scalar.n_sample, context
+    assert batched.population_size == scalar.population_size, context
+    if scalar._residual_edges is not None:
+        close(batched._residual_edges, scalar._residual_edges,
+              f"{context}: residual edges")
+        close(batched._residual_var, scalar._residual_var,
+              f"{context}: residual variance")
+    else:
+        assert batched._residual_edges is None, context
+    close(batched._residual_var_global, scalar._residual_var_global,
+          f"{context}: global residual variance")
+
+
+def assert_set_parity(batched: GroupByModelSet, scalar: GroupByModelSet) -> None:
+    assert set(batched.models) == set(scalar.models)
+    assert set(batched.raw_groups) == set(scalar.raw_groups)
+    for value, expected in scalar.models.items():
+        assert_model_parity(batched.models[value], expected, f"group {value}")
+    for value, expected in scalar.raw_groups.items():
+        got = batched.raw_groups[value]
+        np.testing.assert_array_equal(got.x, expected.x)
+        if expected.y is None:
+            assert got.y is None
+        else:
+            np.testing.assert_array_equal(got.y, expected.y)
+        assert got.population_scale == expected.population_scale
+
+
+RANGES = (
+    {"x": (20.0, 60.0)},          # interior range
+    {"x": (41.0, 43.0)},          # narrow, containing the point mass
+    {"x": (-50.0, -10.0)},        # disjoint from the domain
+    {},                           # no predicate
+)
+
+
+def assert_answer_parity(batched: GroupByModelSet, scalar: GroupByModelSet,
+                         y: bool = True) -> None:
+    """Both trainings answer every aggregate identically (1e-9)."""
+    aggregates = [AggregateCall("AVG", "x"), AggregateCall("PERCENTILE", "x", 0.5)]
+    if y:
+        aggregates += [
+            AggregateCall(func, "y")
+            for func in ("COUNT", "SUM", "AVG", "VARIANCE", "STDDEV")
+        ]
+    for aggregate in aggregates:
+        for ranges in RANGES:
+            if aggregate.func == "PERCENTILE" and ranges.get("x") == (-50.0, -10.0):
+                continue  # disjoint ranges raise on percentiles (both paths)
+            got = batched.answer(aggregate, ranges)
+            expected = scalar.answer(aggregate, ranges)
+            assert set(got) == set(expected)
+            for value, answer in expected.items():
+                if math.isnan(answer):
+                    assert math.isnan(got[value]), (aggregate, ranges, value)
+                else:
+                    bound = 1e-9 * max(1.0, abs(answer))
+                    assert abs(got[value] - answer) <= bound, (
+                        f"{aggregate} {ranges} group {value}: "
+                        f"{got[value]} vs {answer}"
+                    )
+
+
+# -- model / answer parity across trainer configurations ---------------------
+
+
+class TestStackedRegressorParity:
+    @pytest.mark.parametrize("regressor", ["plr", "linear"])
+    def test_models_and_answers(self, regressor):
+        batched, scalar = train_pair(regressor=regressor)
+        assert_set_parity(batched, scalar)
+        assert_answer_parity(batched, scalar)
+
+
+class TestNonlinearRegressorParity:
+    @pytest.mark.parametrize("regressor", ["tree", "gboost", "xgboost", "ensemble"])
+    def test_models_and_answers(self, regressor):
+        batched, scalar = train_pair(regressor=regressor)
+        assert_set_parity(batched, scalar)
+        assert_answer_parity(batched, scalar)
+
+    def test_parallel_chunked_fits(self):
+        batched, scalar = train_pair(
+            regressor="gboost", n_workers=2, parallel_mode="thread"
+        )
+        assert_set_parity(batched, scalar)
+
+
+class TestBandwidthParity:
+    @pytest.mark.parametrize("bandwidth", ["scott", "silverman", 0.75])
+    def test_kde_state(self, bandwidth):
+        batched, scalar = train_pair(kde_bandwidth=bandwidth)
+        assert_set_parity(batched, scalar)
+
+
+class TestBinnedKdeParity:
+    def test_large_groups_use_identical_histograms(self):
+        # 3 groups above the 5000-row binning threshold: the 2-D bincount
+        # must replicate np.histogram's bin-index arithmetic exactly.
+        rng = np.random.default_rng(11)
+        rows = 5200
+        groups = np.repeat(np.arange(3), rows)
+        x = rng.normal(50.0, 12.0, size=groups.shape[0])
+        y = 2.0 * x + rng.normal(0.0, 1.0, size=groups.shape[0])
+        config = DBEstConfig(
+            regressor="linear", min_group_rows=30, random_seed=11,
+            integration_points=65,
+        )
+        kwargs = dict(
+            sample_x=x, sample_y=y, sample_groups=groups,
+            full_groups=groups, full_x=x, full_y=y,
+            table_name="t", x_columns=("x",), y_column="y",
+            group_column="g", config=config,
+        )
+        batched = GroupByModelSet.train(batched=True, **kwargs)
+        scalar = GroupByModelSet.train(batched=False, **kwargs)
+        for value, expected in scalar.models.items():
+            got = batched.models[value].density
+            np.testing.assert_array_equal(got._centres, expected.density._centres)
+            np.testing.assert_array_equal(got._weights, expected.density._weights)
+        assert_set_parity(batched, scalar)
+
+
+class TestDensityOnlyParity:
+    def test_no_y_column(self):
+        batched, scalar = train_pair(y=False)
+        assert_set_parity(batched, scalar)
+        assert_answer_parity(batched, scalar, y=False)
+        assert all(m.regressor is None for m in batched.models.values())
+
+
+class TestAllRawSet:
+    def test_no_modelled_groups(self):
+        x, y, groups, keep = make_data()
+        config = DBEstConfig(min_group_rows=10**6, random_seed=3)
+        model_set = GroupByModelSet.train(
+            sample_x=x[keep], sample_y=y[keep], sample_groups=groups[keep],
+            full_groups=groups, full_x=x, full_y=y,
+            table_name="t", x_columns=("x",), y_column="y", group_column="g",
+            config=config,
+        )
+        assert model_set.models == {}
+        assert len(model_set.raw_groups) == 8
+
+
+# -- routing: default, opt-outs, multivariate fallback -----------------------
+
+
+class TestTrainerRouting:
+    def test_batched_is_the_default(self, monkeypatch):
+        calls = []
+        original = train_batched_models
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(
+            "repro.core.groupby.train_batched_models", spy
+        )
+        train_pair()  # batched=True leg goes through the spy
+        assert calls
+
+    @pytest.mark.parametrize("opt_out", ["argument", "config"])
+    def test_opt_outs_skip_the_batched_trainer(self, monkeypatch, opt_out):
+        def forbidden(*args, **kwargs):
+            raise AssertionError("batched trainer called despite opt-out")
+
+        monkeypatch.setattr(
+            "repro.core.groupby.train_batched_models", forbidden
+        )
+        x, y, groups, keep = make_data()
+        config = DBEstConfig(
+            min_group_rows=30, random_seed=3,
+            **({"batched_train": False} if opt_out == "config" else {}),
+        )
+        model_set = GroupByModelSet.train(
+            sample_x=x[keep], sample_y=y[keep], sample_groups=groups[keep],
+            full_groups=groups, full_x=x, full_y=y,
+            table_name="t", x_columns=("x",), y_column="y", group_column="g",
+            config=config,
+            **({"batched": False} if opt_out == "argument" else {}),
+        )
+        assert len(model_set.models) == 6
+
+    def test_multivariate_returns_none(self):
+        rng = np.random.default_rng(5)
+        n = 200
+        x = rng.uniform(0.0, 10.0, size=(n, 2))
+        groups = np.repeat(np.arange(2), n // 2)
+        part = GroupPartition.from_groups(groups)
+        assert train_batched_models(
+            sample_x=x,
+            sample_y=None,
+            sample_part=part,
+            modelled_mask=np.ones(2, dtype=bool),
+            table_name="t",
+            x_columns=("a", "b"),
+            y_column=None,
+            population={0: 100, 1: 100},
+            config=DBEstConfig(),
+        ) is None
+
+    def test_multivariate_set_still_trains(self):
+        # The multivariate fallback is transparent at the train() level.
+        rng = np.random.default_rng(5)
+        n = 400
+        x = rng.uniform(0.0, 10.0, size=(n, 2))
+        groups = np.repeat(np.arange(2), n // 2)
+        y = x[:, 0] + x[:, 1] + rng.normal(0.0, 0.1, size=n)
+        config = DBEstConfig(
+            regressor="linear", min_group_rows=30, random_seed=5
+        )
+        model_set = GroupByModelSet.train(
+            sample_x=x, sample_y=y, sample_groups=groups,
+            full_groups=groups, full_x=x, full_y=y,
+            table_name="t", x_columns=("a", "b"), y_column="y",
+            group_column="g", config=config,
+        )
+        assert len(model_set.models) == 2
+
+
+# -- shared partition / kernel helpers ---------------------------------------
+
+
+class TestGroupPartition:
+    def test_matches_boolean_masks(self):
+        rng = np.random.default_rng(9)
+        groups = rng.integers(0, 12, size=500)
+        part = GroupPartition.from_groups(groups)
+        assert part.values.tolist() == np.unique(groups).tolist()
+        for g, value in enumerate(part.values.tolist()):
+            expected = np.flatnonzero(groups == value)
+            np.testing.assert_array_equal(part.rows(g), expected)
+        assert part.counts.sum() == groups.shape[0]
+
+    def test_superset_values_get_empty_slices(self):
+        groups = np.asarray([1, 1, 3, 3, 3])
+        part = GroupPartition.from_groups(
+            groups, values=np.asarray([0, 1, 2, 3])
+        )
+        assert part.rows(0).size == 0
+        assert part.rows(2).size == 0
+        assert part.counts.tolist() == [0, 2, 0, 3]
+
+    def test_stable_order_within_groups(self):
+        groups = np.asarray([2, 1, 2, 1, 2])
+        part = GroupPartition.from_groups(groups)
+        np.testing.assert_array_equal(part.rows(0), [1, 3])
+        np.testing.assert_array_equal(part.rows(1), [0, 2, 4])
+
+
+class TestSegmentedQuantiles:
+    def test_bitwise_match_with_np_quantile(self):
+        rng = np.random.default_rng(13)
+        counts = np.asarray([1, 2, 7, 40, 301])
+        starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+        flat = np.concatenate(
+            [np.sort(rng.normal(size=c)) for c in counts.tolist()]
+        )
+        qs = np.asarray([0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0])
+        got = segmented_quantiles(flat, starts, counts, qs)
+        for g, (start, count) in enumerate(zip(starts, counts)):
+            expected = np.quantile(flat[start:start + count], qs)
+            np.testing.assert_array_equal(got[g], expected)
+
+    def test_tied_values(self):
+        flat = np.asarray([1.0, 1.0, 1.0, 2.0, 2.0])
+        got = segmented_quantiles(
+            flat, np.asarray([0]), np.asarray([5]), np.asarray([0.25, 0.5])
+        )
+        np.testing.assert_array_equal(got[0], np.quantile(flat, [0.25, 0.5]))
+
+
+class TestChunkBoundsWeighted:
+    def test_partitions_all_items(self):
+        weights = [5.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        bounds = chunk_bounds_weighted(weights, 3)
+        assert bounds[0][0] == 0 and bounds[-1][1] == len(weights)
+        for (_, a_end), (b_start, _) in zip(bounds, bounds[1:]):
+            assert a_end == b_start
+        assert all(end > start for start, end in bounds)
+        assert len(bounds) <= 3
+
+    def test_one_giant_item_does_not_starve_chunks(self):
+        bounds = chunk_bounds_weighted([100.0, 1.0, 1.0, 1.0], 3)
+        assert len(bounds) == 3
+        assert bounds[0] == (0, 1)
+
+    def test_giant_last_item_still_parallelises(self):
+        # Regression: a greedy fair-share pass never closed a chunk when
+        # the dominant weight sorted last, collapsing to one chunk.
+        bounds = chunk_bounds_weighted([1.0] * 30 + [10000.0], 4)
+        assert len(bounds) == 4
+        assert bounds[-1] == (30, 31)
+
+    def test_minimises_heaviest_chunk(self):
+        bounds = chunk_bounds_weighted([4.0, 3.0, 2.0, 6.0, 5.0], 3)
+        heaviest = max(
+            sum([4.0, 3.0, 2.0, 6.0, 5.0][a:b]) for a, b in bounds
+        )
+        assert heaviest <= 8.0  # optimal contiguous 3-way split
+
+    def test_degenerate_inputs(self):
+        assert chunk_bounds_weighted([], 4) == []
+        assert chunk_bounds_weighted([0.0, 0.0], 2) == [(0, 1), (1, 2)]
+        assert chunk_bounds_weighted([1.0], 5) == [(0, 1)]
+        with pytest.raises(InvalidParameterError):
+            chunk_bounds_weighted([1.0], 0)

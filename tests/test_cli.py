@@ -130,4 +130,5 @@ class TestBenchSmoke:
         assert main(["bench-smoke", "--groups", "8", "--rows", "40"]) == 0
         out = capsys.readouterr().out
         assert "speedup" in out
-        assert "ok: batched path matches the scalar oracle" in out
+        assert "TRAIN" in out
+        assert "ok: batched training and evaluation match the scalar oracles" in out
