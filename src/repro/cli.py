@@ -12,7 +12,9 @@ health check for the batched evaluation engine:
   covering both sides of the batched engine: *training* (batched trainer
   vs the per-group loop, wall time + model-parameter parity) and
   *querying* (batched evaluator vs the scalar loop, wall time + answer
-  parity); exits non-zero if either side disagrees.
+  parity), each run for 1-D predicates and for a MULTI leg with a
+  two-column predicate exercising the product-kernel path; exits
+  non-zero if any side disagrees.
 
 Examples::
 
@@ -161,8 +163,19 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench_smoke(args: argparse.Namespace) -> int:
-    """Batched-vs-scalar GROUP BY check on a small synthetic model set."""
+def _smoke_leg(
+    prefix: str,
+    train_kwargs: dict,
+    ranges: dict,
+    param_arrays,
+) -> tuple[float, float]:
+    """Run one batched-vs-scalar leg (training + querying) of bench-smoke.
+
+    Prints one TRAIN row and one row per aggregate; returns the worst
+    trained-parameter and answer divergences.  ``param_arrays`` maps a
+    (batched_model, scalar_model) pair to the (got, expected) array pairs
+    compared for training parity.
+    """
     import time
 
     import numpy as np
@@ -170,28 +183,6 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
     from repro.core.groupby import GroupByModelSet
     from repro.sql.ast import AggregateCall
 
-    if args.groups < 1 or args.rows < 1:
-        print("error: bench-smoke needs --groups >= 1 and --rows >= 1",
-              file=sys.stderr)
-        return 2
-    rng = np.random.default_rng(args.seed)
-    n = args.groups * args.rows
-    groups = np.repeat(np.arange(args.groups), args.rows)
-    x = rng.uniform(0.0, 100.0, size=n)
-    y = (1.0 + groups * 0.1) * x + rng.normal(0.0, 1.0, size=n)
-    config = DBEstConfig(
-        regressor="plr", min_group_rows=min(30, args.rows),
-        integration_points=65, random_seed=args.seed,
-    )
-    train_kwargs = dict(
-        sample_x=x, sample_y=y, sample_groups=groups,
-        full_groups=groups, full_x=x, full_y=y,
-        table_name="smoke", x_columns=("x",), y_column="y", group_column="g",
-        config=config,
-    )
-
-    # Training leg: batched trainer vs the per-group loop on the same
-    # sample — wall time plus worst model-parameter divergence.
     train_timings = {}
     trained = {}
     for batched in (False, True):
@@ -204,12 +195,7 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
     train_worst = 0.0
     for value, scalar_model in trained[False].models.items():
         batched_model = trained[True].models[value]
-        for got, expected in (
-            (batched_model.density._centres, scalar_model.density._centres),
-            (batched_model.density._weights, scalar_model.density._weights),
-            (batched_model.regressor._coef, scalar_model.regressor._coef),
-            (batched_model.regressor._knots, scalar_model.regressor._knots),
-        ):
+        for got, expected in param_arrays(batched_model, scalar_model):
             if got.shape != expected.shape:
                 train_worst = float("inf")
                 continue
@@ -221,13 +207,11 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
 
     model_set = trained[True]
     if model_set.batched_evaluator() is None:
-        print("error: smoke model set did not stack into the batched "
-              "evaluator", file=sys.stderr)
-        return 2
-    ranges = {"x": (20.0, 60.0)}
+        raise ReproError(
+            f"{prefix}smoke model set did not stack into the batched evaluator"
+        )
     worst = 0.0
-    print(f"{'leg':<12} {'scalar':>10} {'batched':>10} {'speedup':>8}")
-    print(f"{'TRAIN':<12} {train_timings[False] * 1e3:>8.2f}ms "
+    print(f"{prefix + 'TRAIN':<12} {train_timings[False] * 1e3:>8.2f}ms "
           f"{train_timings[True] * 1e3:>8.2f}ms "
           f"{train_timings[False] / train_timings[True]:>7.1f}x")
     for func in ("COUNT", "SUM", "AVG"):
@@ -247,16 +231,81 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
                     worst = float("inf")  # one-sided NaN is a divergence
                 continue
             worst = max(worst, abs(got - expected) / max(1.0, abs(expected)))
-        print(f"{func:<12} {timings[False] * 1e3:>8.2f}ms "
+        print(f"{prefix + func:<12} {timings[False] * 1e3:>8.2f}ms "
               f"{timings[True] * 1e3:>8.2f}ms "
               f"{timings[False] / timings[True]:>7.1f}x")
+    return train_worst, worst
+
+
+def _cmd_bench_smoke(args: argparse.Namespace) -> int:
+    """Batched-vs-scalar GROUP BY check on small synthetic model sets."""
+    import numpy as np
+
+    if args.groups < 1 or args.rows < 1:
+        print("error: bench-smoke needs --groups >= 1 and --rows >= 1",
+              file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    n = args.groups * args.rows
+    groups = np.repeat(np.arange(args.groups), args.rows)
+    x = rng.uniform(0.0, 100.0, size=n)
+    y = (1.0 + groups * 0.1) * x + rng.normal(0.0, 1.0, size=n)
+    config = DBEstConfig(
+        regressor="plr", min_group_rows=min(30, args.rows),
+        integration_points=65, random_seed=args.seed,
+    )
+    print(f"{'leg':<12} {'scalar':>10} {'batched':>10} {'speedup':>8}")
+    train_worst, worst = _smoke_leg(
+        "",
+        dict(
+            sample_x=x, sample_y=y, sample_groups=groups,
+            full_groups=groups, full_x=x, full_y=y,
+            table_name="smoke", x_columns=("x",), y_column="y",
+            group_column="g", config=config,
+        ),
+        {"x": (20.0, 60.0)},
+        lambda batched, scalar: (
+            (batched.density._centres, scalar.density._centres),
+            (batched.density._weights, scalar.density._weights),
+            (batched.regressor._coef, scalar.regressor._coef),
+            (batched.regressor._knots, scalar.regressor._knots),
+        ),
+    )
+
+    # MULTI leg: a two-column predicate through the product-kernel path.
+    x2 = np.column_stack([x, rng.uniform(-5.0, 5.0, size=n)])
+    y2 = (1.0 + groups * 0.1) * x2[:, 0] + 2.0 * x2[:, 1] \
+        + rng.normal(0.0, 1.0, size=n)
+    multi_config = DBEstConfig(
+        regressor="linear", min_group_rows=min(30, args.rows),
+        integration_points=65, random_seed=args.seed,
+    )
+    multi_train_worst, multi_worst = _smoke_leg(
+        "MULTI-",
+        dict(
+            sample_x=x2, sample_y=y2, sample_groups=groups,
+            full_groups=groups, full_x=x2, full_y=y2,
+            table_name="smoke2", x_columns=("a", "b"), y_column="y",
+            group_column="g", config=multi_config,
+        ),
+        {"a": (20.0, 60.0), "b": (-3.0, 3.0)},
+        lambda batched, scalar: (
+            (batched.density._centres, scalar.density._centres),
+            (batched.density._weights, scalar.density._weights),
+            (batched.density._h, scalar.density._h),
+            (batched.regressor._coef, scalar.regressor._coef),
+        ),
+    )
+    train_worst = max(train_worst, multi_train_worst)
+    worst = max(worst, multi_worst)
     print(f"max answer divergence over {args.groups} groups: {worst:.2e}; "
           f"max trained-parameter divergence: {train_worst:.2e}")
     if worst > 1e-9 or train_worst > 1e-9:
         print("error: batched and scalar paths disagree beyond 1e-9",
               file=sys.stderr)
         return 2
-    print("ok: batched training and evaluation match the scalar oracles")
+    print("ok: batched training and evaluation match the scalar oracles "
+          "(1-D and multivariate)")
     return 0
 
 

@@ -39,18 +39,28 @@ arrays at build time so a query touches each array once:
 * **PERCENTILE** runs all groups' bisections in lock-step: each
   iteration evaluates the analytic CDF for every unconverged group in
   one segmented pass, mirroring :func:`repro.integrate.bisect` exactly.
+* **Multivariate predicates** stack the same way: all groups'
+  product-kernel mixtures (:class:`~repro.ml.kde.MultivariateKDE`)
+  concatenate into one ``(M, d)`` CSR centre array, box integrals
+  (COUNT) evaluate ``ndtr`` over the stacked centres once with
+  per-dimension CDF differences multiplied per centre and
+  segment-reduced, and grid aggregates run every group's tensor-Simpson
+  box grid through one blocked product-kernel pdf pass with the
+  per-group domain renormalisation folded into a single scale factor.
 
 Scalar fallback
 ===============
 
-:meth:`BatchedGroupEvaluator.build` returns None — and
-``GroupByModelSet.answer`` keeps the per-group loop — when the set is
-not stackable: multivariate predicates, ``integration_method="quad"``,
-non-uniform integration grids, a density that is not the 1-D
-:class:`~repro.ml.kde.KernelDensityEstimator`, mixed presence of
-regressors, or an empty raw group.  The scalar loop also remains the
-parity oracle in the test suite, and can be forced with
-``answer(..., batched=False)`` or ``DBEstConfig(batched_groupby=False)``.
+Multivariate sets are *not* a fallback condition: both 1-D and
+product-kernel model sets stack.  :meth:`BatchedGroupEvaluator.build`
+returns None — and ``GroupByModelSet.answer`` keeps the per-group loop —
+only when the set is genuinely not stackable:
+``integration_method="quad"``, non-uniform integration grids, a density
+that is not a fitted :class:`~repro.ml.kde.KernelDensityEstimator` /
+:class:`~repro.ml.kde.MultivariateKDE`, mixed presence of regressors, or
+an empty raw group.  The scalar loop also remains the parity oracle in
+the test suite, and can be forced with ``answer(..., batched=False)`` or
+``DBEstConfig(batched_groupby=False)``.
 
 Parity: batched answers match the scalar loop to ~1e-12 relative (the
 test suite asserts 1e-9); differences come only from floating-point
@@ -74,7 +84,7 @@ from repro.errors import (
 )
 from repro.integrate import simpson_weights
 from repro.ml.ensemble import EnsembleRegressor
-from repro.ml.kde import KernelDensityEstimator
+from repro.ml.kde import KernelDensityEstimator, MultivariateKDE
 from repro.sql.ast import AggregateCall
 
 _SQRT_2PI = math.sqrt(2.0 * math.pi)
@@ -124,9 +134,10 @@ class BatchedGroupEvaluator:
     def build(cls, model_set) -> "BatchedGroupEvaluator | None":
         """Stack a :class:`GroupByModelSet`; None if it is not batchable."""
         x_columns = tuple(model_set.x_columns)
-        if len(x_columns) != 1:
-            return None
-        model_state = cls._stack_models(model_set)
+        if len(x_columns) == 1:
+            model_state = cls._stack_models(model_set)
+        else:
+            model_state = cls._stack_models_nd(model_set)
         if model_set.models and model_state is None:
             return None
         raw_state = cls._stack_raw(model_set)
@@ -247,6 +258,125 @@ class BatchedGroupEvaluator:
         # per (centre, node) pair in the pdf blocks.
         state["aug_centre_over_h"] = np.concatenate(aug_centres) * inv_h_aug
         state["aug_weights"] = np.concatenate(aug_weights)
+
+    @classmethod
+    def _stack_models_nd(cls, model_set) -> dict | None:
+        """Stack multivariate (product-kernel) model groups, or None.
+
+        The d-dimensional analogue of :meth:`_stack_models`: centres
+        become one ``(M, d)`` CSR array, per-group scalars become
+        ``(G,)`` / ``(G, d)`` arrays, and the domain normaliser of every
+        group's :class:`~repro.ml.kde.MultivariateKDE` folds into a
+        single per-group pdf scale.
+        """
+        items = sorted(model_set.models.items(), key=lambda kv: kv[0])
+        if not items:
+            return None
+        d = len(model_set.x_columns)
+        centres, weights, counts = [], [], []
+        h, dom_lo, dom_hi, kde_lo, kde_hi, norm = [], [], [], [], [], []
+        population, points, res_global = [], [], []
+        regressors = []
+        for _value, model in items:
+            if not isinstance(model, ColumnSetModel) or model.n_dims != d:
+                return None
+            if model.integration_method != "simpson":
+                return None
+            density = model.density
+            if not isinstance(density, MultivariateKDE):
+                return None
+            if not density.is_fitted or density._centres.shape[0] == 0:
+                return None
+            mix = density.export_mixture()
+            centres.append(mix.centres)
+            weights.append(mix.weights)
+            counts.append(mix.centres.shape[0])
+            h.append(mix.h)
+            dom_lo.append([bounds[0] for bounds in model.x_domain])
+            dom_hi.append([bounds[1] for bounds in model.x_domain])
+            kde_lo.append(mix.domain_low)
+            kde_hi.append(mix.domain_high)
+            norm.append(mix.norm)
+            population.append(model.population_size)
+            points.append(model.integration_points)
+            res_global.append(model._residual_var_global)
+            regressors.append(model.regressor)
+        if len(set(points)) != 1:
+            return None
+        # The scalar _box_grid caps the tensor-Simpson grid at ~70k
+        # points per group (m odd nodes per dimension); the batched grid
+        # must use the same m to reproduce its moments.
+        m = min(int(points[0]), max(9, int(round(70_000 ** (1.0 / d)))))
+        if m % 2 == 0:
+            m -= 1
+        state: dict = {
+            "ndim": d,
+            "values": [value for value, _ in items],
+            "centres": np.concatenate(centres, axis=0),
+            "cweights": np.concatenate(weights),
+            "coffsets": np.concatenate(([0], np.cumsum(counts))),
+            "h": np.stack(h),
+            "dom_lo": np.asarray(dom_lo),
+            "dom_hi": np.asarray(dom_hi),
+            "kde_lo": np.stack(kde_lo),
+            "kde_hi": np.stack(kde_hi),
+            "norm": np.asarray(norm),
+            "population": np.asarray(population, dtype=np.float64),
+            "points": int(points[0]),
+            "grid_m": m,
+            "res_global": np.asarray(res_global),
+        }
+        cls._derive_model_arrays_nd(state)
+        if not cls._stack_regressors_nd(state, regressors):
+            return None
+        return state
+
+    @staticmethod
+    def _derive_model_arrays_nd(state: dict) -> None:
+        """Precompute the per-centre expansions the nd hot loops need."""
+        counts = np.diff(state["coffsets"])
+        state["counts"] = counts
+        inv_h = 1.0 / state["h"]
+        state["inv_h"] = inv_h
+        inv_h_rep = np.repeat(inv_h, counts, axis=0)
+        state["inv_h_rep"] = inv_h_rep
+        # Scaled centres: z_j = x_j * inv_h_j - centre_j_over_h_j avoids
+        # a division per (centre, point, dim) triple in the pdf blocks.
+        state["centre_over_h"] = state["centres"] * inv_h_rep
+        # 1 / (prod_j h_j * sqrt(2 pi)^d * norm): the factor the scalar
+        # pdf divides by, applied once per group pdf row.
+        state["pdf_scale"] = 1.0 / (
+            np.prod(state["h"], axis=1)
+            * _SQRT_2PI ** state["ndim"]
+            * state["norm"]
+        )
+
+    @staticmethod
+    def _stack_regressors_nd(state: dict, regressors: list) -> bool:
+        """Classify the per-group regressors of a multivariate set."""
+        if all(reg is None for reg in regressors):
+            state["reg_mode"] = "none"
+            return True
+        if any(reg is None for reg in regressors):
+            return False  # mixed presence: let the scalar loop handle it
+        d = state["ndim"]
+        exported = []
+        for reg in regressors:
+            export = getattr(reg, "export_batch_state", None)
+            exported.append(export() if export is not None else None)
+        if all(
+            e is not None and e[0] == "linear" and e[1].shape[0] == d + 1
+            for e in exported
+        ):
+            state["reg_mode"] = "linear"
+            state["reg_affine"] = np.stack([e[1] for e in exported])
+        else:
+            # Trees, boosters and ensembles have no stacked multivariate
+            # form: the per-group predict loop remains while the density
+            # work around it stays batched.
+            state["reg_mode"] = "generic"
+            state["reg_objects"] = list(regressors)
+        return True
 
     @classmethod
     def _stack_regressors(cls, state: dict, regressors: list) -> bool:
@@ -424,6 +554,8 @@ class BatchedGroupEvaluator:
     def _split_models(self, n_chunks: int) -> list[dict | None]:
         if self._m is None:
             return []
+        if self._m.get("ndim", 1) != 1:
+            return self._split_models_nd(n_chunks)
         state = self._m
         g = len(state["values"])
         bounds = chunk_bounds(g, n_chunks)
@@ -470,6 +602,33 @@ class BatchedGroupEvaluator:
             elif state["reg_mode"] == "generic":
                 part["reg_objects"] = state["reg_objects"][g0:g1]
             self._derive_model_arrays(part)
+            parts.append(part)
+        return parts
+
+    def _split_models_nd(self, n_chunks: int) -> list[dict | None]:
+        """Contiguous group slices of a stacked multivariate state."""
+        state = self._m
+        parts = []
+        for g0, g1 in chunk_bounds(len(state["values"]), n_chunks):
+            c0, c1 = state["coffsets"][g0], state["coffsets"][g1]
+            part = {
+                "ndim": state["ndim"],
+                "values": state["values"][g0:g1],
+                "centres": state["centres"][c0:c1],
+                "cweights": state["cweights"][c0:c1],
+                "coffsets": state["coffsets"][g0:g1 + 1] - c0,
+                "points": state["points"],
+                "grid_m": state["grid_m"],
+                "reg_mode": state["reg_mode"],
+            }
+            for key in ("h", "dom_lo", "dom_hi", "kde_lo", "kde_hi",
+                        "norm", "population", "res_global"):
+                part[key] = state[key][g0:g1]
+            if state["reg_mode"] == "linear":
+                part["reg_affine"] = state["reg_affine"][g0:g1]
+            elif state["reg_mode"] == "generic":
+                part["reg_objects"] = state["reg_objects"][g0:g1]
+            self._derive_model_arrays_nd(part)
             parts.append(part)
         return parts
 
@@ -525,7 +684,10 @@ class BatchedGroupEvaluator:
         """One aggregate for every group, in a handful of array passes."""
         out: dict = {}
         if self._m is not None:
-            out.update(self._answer_models(aggregate, ranges))
+            if self._m.get("ndim", 1) == 1:
+                out.update(self._answer_models(aggregate, ranges))
+            else:
+                out.update(self._answer_models_nd(aggregate, ranges))
         if self._r is not None:
             out.update(self._answer_raw(aggregate, ranges))
         return out
@@ -650,6 +812,14 @@ class BatchedGroupEvaluator:
     # -- grid-moment machinery ----------------------------------------------
 
     _GRID_CACHE_MAX = 8
+    # Element budget for the multivariate grid machinery: one nd entry
+    # holds (points + weights + pdf) ~ (d + 2) * G * m^d floats — with
+    # the default 257-point grid that is tens of MB per entry, so the
+    # entry cap alone could pin GBs.  Cached entries evict oldest-first
+    # until a new entry fits; a query whose single entry would exceed
+    # the budget streams its groups through budget-sized blocks instead,
+    # so construction memory is bounded too.
+    _ND_GRID_CACHE_ELEMENTS = 32_000_000  # ~256 MB of float64
 
     def _moments(
         self, lb: np.ndarray, ub: np.ndarray, use_regressor: bool
@@ -1000,6 +1170,323 @@ class BatchedGroupEvaluator:
         leftover = alive & ~done
         result[leftover] = 0.5 * (lo[leftover] + hi[leftover])
         return result
+
+    # -- multivariate model groups ------------------------------------------
+
+    def _answer_models_nd(self, aggregate: AggregateCall, ranges: Ranges) -> dict:
+        """One aggregate for every multivariate model group.
+
+        Mirrors the scalar :class:`~repro.core.model.ColumnSetModel`
+        dispatch exactly, including which aggregates a multivariate
+        model refuses (density-based x-moments and PERCENTILE).
+        """
+        func, column = aggregate.func, aggregate.column
+        on_x = column is not None and column in self.x_columns
+        on_y = column is not None and column == self.y_column
+        lb, ub = self._normalised_bounds_nd(ranges)
+
+        if func == "COUNT":
+            vals = self._count_nd(lb, ub)
+        elif func == "PERCENTILE":
+            if not on_x:
+                raise UnsupportedQueryError(
+                    f"PERCENTILE must target the predicate column "
+                    f"{self.x_columns}, got {column!r}"
+                )
+            raise UnsupportedQueryError(
+                "PERCENTILE needs a single predicate column"
+            )
+        elif func == "AVG":
+            if on_x:
+                raise UnsupportedQueryError(
+                    "density-based AVG is only defined for one predicate column"
+                )
+            if not on_y:
+                raise UnsupportedQueryError(
+                    f"AVG column {column!r} is neither the model's x nor y"
+                )
+            vals = self._avg_y_nd(lb, ub)
+        elif func == "SUM":
+            if not on_y:
+                raise UnsupportedQueryError(
+                    f"SUM column {column!r} is not the model's dependent "
+                    f"column ({self.y_column!r})"
+                )
+            count = self._count_nd(lb, ub)
+            avg = self._avg_y_nd(lb, ub)
+            vals = np.where(
+                (count <= 0.0) | np.isnan(avg), 0.0, count * avg
+            )
+        elif func in ("VARIANCE", "STDDEV"):
+            if on_x:
+                raise UnsupportedQueryError(
+                    "density-based VARIANCE is only defined for one "
+                    "predicate column"
+                )
+            if not on_y:
+                raise UnsupportedQueryError(
+                    f"{func} column {column!r} is neither the model's x nor y"
+                )
+            vals = self._variance_y_nd(lb, ub)
+            if func == "STDDEV":
+                vals = np.sqrt(vals)
+        else:
+            raise UnsupportedQueryError(f"unsupported aggregate {func!r}")
+        return dict(zip(self._m["values"], vals.tolist()))
+
+    def _normalised_bounds_nd(
+        self, ranges: Ranges
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-group ``(G, d)`` bounds; unconstrained dims default to domain."""
+        state = self._m
+        lb = state["dom_lo"].copy()
+        ub = state["dom_hi"].copy()
+        for j, column in enumerate(self.x_columns):
+            entry = ranges.get(column) if ranges else None
+            if entry is None:
+                continue
+            low, high = entry
+            if high < low:
+                raise InvalidParameterError(
+                    f"range on {column!r} reversed: [{low}, {high}]"
+                )
+            lb[:, j] = float(low)
+            ub[:, j] = float(high)
+        return lb, ub
+
+    def _count_nd(self, lb: np.ndarray, ub: np.ndarray) -> np.ndarray:
+        """COUNT = population * renormalised box mass, all groups at once."""
+        state = self._m
+        frac = np.zeros(len(state["values"]))
+        # Two clips, replicating the scalar path: _fraction_nd clips to
+        # the model domain (empty when any high <= low), integrate_box
+        # re-clips to the KDE's own domain (empty when any high < low).
+        a = np.maximum(lb, state["dom_lo"])
+        b = np.minimum(ub, state["dom_hi"])
+        open_box = (b > a).all(axis=1)
+        a = np.maximum(a, state["kde_lo"])
+        b = np.minimum(b, state["kde_hi"])
+        open_box &= ~(b < a).any(axis=1)
+        active = np.flatnonzero(open_box)
+        if active.size:
+            mass = self._box_mass_nd(active, a[active], b[active])
+            frac[active] = np.maximum(0.0, mass / state["norm"][active])
+        return state["population"] * frac
+
+    def _box_mass_nd(
+        self, active: np.ndarray, a: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        """Raw product-kernel box mass per active group (one ndtr pass).
+
+        Each centre contributes the product over dimensions of its 1-D
+        normal-CDF differences; per-group sums reduce the flat CSR with
+        ``np.add.reduceat``.
+        """
+        state = self._m
+        counts = state["counts"][active]
+        local_offsets = np.concatenate(([0], np.cumsum(counts)))
+        rows = _csr_take_rows(state["coffsets"], active)
+        centres = state["centres"][rows]
+        inv_h = state["inv_h_rep"][rows]
+        upper = ndtr((np.repeat(b, counts, axis=0) - centres) * inv_h)
+        lower = ndtr((np.repeat(a, counts, axis=0) - centres) * inv_h)
+        per_point = np.prod(upper - lower, axis=1)
+        per_point *= state["cweights"][rows]
+        return _segment_sum(per_point, local_offsets)
+
+    def _moments_nd(
+        self, lb: np.ndarray, ub: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(∫D, ∫RD, ∫R²D) per group over its tensor-Simpson box grid.
+
+        The per-group grids, combined Simpson weights and pdf rows are
+        memoised by query bounds exactly as in :meth:`_moments`, so SUM,
+        AVG and VARIANCE over the same ranges share one product-kernel
+        exp pass.  Memory stays bounded in the group count: when one
+        entry would exceed the cache's element budget, the groups stream
+        through budget-sized blocks instead (no memoisation, never more
+        than one block of grids in flight).
+        """
+        state = self._m
+        g = len(state["values"])
+        den = np.zeros(g)
+        num1 = np.zeros(g)
+        num2 = np.zeros(g)
+        key = (lb.tobytes(), ub.tobytes())
+        cache = self._grid_cache.get(key)
+        if cache is None:
+            a = np.maximum(lb, state["dom_lo"])
+            b = np.minimum(ub, state["dom_hi"])
+            active = np.flatnonzero((b > a).all(axis=1))
+            per_group = (state["ndim"] + 2) * state["grid_m"] ** state["ndim"]
+            elements = int(active.size) * per_group
+            if elements > self._ND_GRID_CACHE_ELEMENTS:
+                block_starts = _chunk_by_budget(
+                    np.full(active.size, per_group, dtype=np.int64),
+                    self._ND_GRID_CACHE_ELEMENTS,
+                )
+                for i0, i1 in zip(block_starts[:-1], block_starts[1:]):
+                    block = active[i0:i1]
+                    points, weights = self._box_grid_nd(block, a, b)
+                    pdf = self._pdf_box_grid(block, points)
+                    self._reduce_moments_nd(
+                        block, points, weights, pdf, den, num1, num2
+                    )
+                return den, num1, num2
+            cache = {"active": active, "elements": elements}
+            if active.size:
+                points, weights = self._box_grid_nd(active, a, b)
+                cache.update(
+                    points=points,
+                    weights=weights,
+                    pdf=self._pdf_box_grid(active, points),
+                )
+            total = sum(
+                entry.get("elements", 0)
+                for entry in self._grid_cache.values()
+            )
+            while self._grid_cache and (
+                len(self._grid_cache) >= self._GRID_CACHE_MAX
+                or total + elements > self._ND_GRID_CACHE_ELEMENTS
+            ):
+                evicted = self._grid_cache.pop(next(iter(self._grid_cache)))
+                total -= evicted.get("elements", 0)
+            self._grid_cache[key] = cache
+        active = cache["active"]
+        if active.size:
+            self._reduce_moments_nd(
+                active, cache["points"], cache["weights"], cache["pdf"],
+                den, num1, num2,
+            )
+        return den, num1, num2
+
+    def _box_grid_nd(
+        self, active: np.ndarray, a: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Tensor-Simpson grids of the given groups' clipped boxes.
+
+        Returns ``(points, weights)`` of shapes ``(A, m^d, d)`` and
+        ``(A, m^d)`` in the C-order meshgrid-ravel layout of the scalar
+        ``_box_grid`` (digit j indexes dim j's nodes, dim 0 major).
+        """
+        state = self._m
+        d = state["ndim"]
+        m = state["grid_m"]
+        nodes = np.linspace(a[active], b[active], m, axis=-1)
+        wdim = simpson_weights(m)[None, None, :] * (
+            (b[active] - a[active]) / (m - 1) / 3.0
+        )[:, :, None]
+        digits = np.indices((m,) * d).reshape(d, -1)
+        points = np.stack(
+            [nodes[:, j, digits[j]] for j in range(d)], axis=2
+        )
+        weights = wdim[:, 0, digits[0]]
+        for j in range(1, d):
+            weights = weights * wdim[:, j, digits[j]]
+        return points, weights
+
+    def _reduce_moments_nd(
+        self,
+        active: np.ndarray,
+        points: np.ndarray,
+        weights: np.ndarray,
+        pdf: np.ndarray,
+        den: np.ndarray,
+        num1: np.ndarray,
+        num2: np.ndarray,
+    ) -> None:
+        """Weighted moment reductions of one block of group grids."""
+        wd = weights * pdf
+        den[active] = wd.sum(axis=1)
+        f = self._predict_box_grid(active, points)
+        num1[active] = (wd * f).sum(axis=1)
+        num2[active] = (wd * f * f).sum(axis=1)
+
+    def _pdf_box_grid(self, active: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Renormalised product-kernel pdf of each active group's grid.
+
+        The d-dimensional analogue of :meth:`_pdf_grid`: one kernel term
+        per (centre, grid-point) pair, worked through the CSR in
+        cache-sized blocks of whole groups.  Squared z-scores accumulate
+        dimension by dimension, so no ``(rows, points, d)`` temporary is
+        ever materialised.
+        """
+        state = self._m
+        d = state["ndim"]
+        n_active, n_points, _ = points.shape
+        # Dim-major contiguous layout: the per-centre row gathers below
+        # then copy contiguous rows instead of striding over dimensions.
+        ps = np.ascontiguousarray(
+            np.moveaxis(points * state["inv_h"][active][:, None, :], 2, 0)
+        )
+        counts = state["counts"][active]
+        local_offsets = np.concatenate(([0], np.cumsum(counts)))
+        flat_rows = _csr_take_rows(state["coffsets"], active)
+        local_group = np.repeat(np.arange(n_active), counts)
+        coh = state["centre_over_h"][flat_rows]
+        cw = state["cweights"][flat_rows]
+        out = np.empty((n_active, n_points))
+        chunk_starts = _chunk_by_budget(counts * n_points, _PDF_BLOCK)
+        for g0, g1 in zip(chunk_starts[:-1], chunk_starts[1:]):
+            r0, r1 = local_offsets[g0], local_offsets[g1]
+            rows = slice(r0, r1)
+            lg = local_group[rows]
+            acc = ps[0].take(lg, axis=0)
+            acc -= coh[rows, 0][:, None]
+            np.square(acc, out=acc)
+            for j in range(1, d):
+                z = ps[j].take(lg, axis=0)
+                z -= coh[rows, j][:, None]
+                np.square(z, out=z)
+                acc += z
+            acc *= -0.5
+            np.exp(acc, out=acc)
+            acc *= cw[rows, None]
+            out[g0:g1] = np.add.reduceat(acc, local_offsets[g0:g1] - r0, axis=0)
+        out *= state["pdf_scale"][active][:, None]
+        return out
+
+    def _predict_box_grid(
+        self, active: np.ndarray, points: np.ndarray
+    ) -> np.ndarray:
+        """Regression predictions for each active group on its box grid."""
+        state = self._m
+        mode = state["reg_mode"]
+        if mode == "none":
+            raise UnsupportedQueryError(
+                f"model on {self.x_columns} has no regression model; "
+                "regression-based aggregates need a y column"
+            )
+        if mode == "linear":
+            coef = state["reg_affine"][active]
+            return coef[:, 0, None] + np.einsum(
+                "apd,ad->ap", points, coef[:, 1:]
+            )
+        # Generic regressors (trees, boosters, ensembles): the per-group
+        # predict loop remains — with the same unbounded routing the
+        # scalar _grid_moments_nd uses — while the density work around it
+        # stays batched.
+        out = np.empty(points.shape[:2])
+        for i, g in enumerate(active.tolist()):
+            out[i] = state["reg_objects"][g].predict(points[i])
+        return out
+
+    def _avg_y_nd(self, lb: np.ndarray, ub: np.ndarray) -> np.ndarray:
+        den, num1, _num2 = self._moments_nd(lb, ub)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(den <= _EMPTY_DENSITY, np.nan, num1 / den)
+
+    def _variance_y_nd(self, lb: np.ndarray, ub: np.ndarray) -> np.ndarray:
+        den, num1, num2 = self._moments_nd(lb, ub)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            explained = num2 / den - (num1 / den) ** 2
+            # Multivariate models keep no residual bins: the unexplained
+            # part is the global scalar, as in the scalar path.
+            return np.where(
+                den <= _EMPTY_DENSITY,
+                np.nan,
+                np.maximum(0.0, explained + self._m["res_global"]),
+            )
 
     # -- raw groups ---------------------------------------------------------
 

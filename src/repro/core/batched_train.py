@@ -29,6 +29,15 @@ side; this module applies the same treatment to the *build* side:
 * **Residual-variance state in bulk** — the law-of-total-variance bins of
   :meth:`ColumnSetModel._fit_residual_variance` are rebuilt with the same
   segmented quantiles and one global ``np.bincount``.
+* **Multivariate predicates batch too** — product-kernel KDEs
+  (:class:`~repro.ml.kde.MultivariateKDE`) get per-dimension bandwidths
+  from the same segmented moment reductions and one vectorised
+  d-dimensional binning pass: per-group bin codes from blocked
+  edge comparisons (replicating ``np.histogramdd``'s
+  searchsorted-with-right-edge-fold arithmetic bit for bit), flattened
+  into a multi-index and counted with a single global ``np.bincount``.
+  Multivariate OLS regressors join the stacked normal-equation solve with
+  a ``d + 1``-wide design.
 * **Nonlinear regressors** (tree / gboost / xgboost / ensemble) cannot be
   stacked into a linear solve; their fits run through *chunked*
   ``map_parallel`` with row-weighted chunks while the density work stays
@@ -38,14 +47,14 @@ Contract
 ========
 
 :func:`train_batched_models` returns the per-group ``models`` dict of a
-:class:`~repro.core.groupby.GroupByModelSet`, or None when the set cannot
-be batch-trained (multivariate predicates).  The scalar loop in
-``GroupByModelSet.train`` remains as fallback and as the parity oracle:
-batched-trained models match loop-trained models to ~1e-12 in every
-parameter (centres, weights and knots bit for bit; solver-touched
-coefficients to 1e-12 relative) and answer queries identically to 1e-9.
-``DBEstConfig(batched_train=False)`` or ``train(..., batched=False)``
-force the scalar loop.
+:class:`~repro.core.groupby.GroupByModelSet` — 1-D and multivariate
+predicate sets alike.  The scalar loop in ``GroupByModelSet.train``
+remains as the parity oracle and as an explicit opt-out
+(``DBEstConfig(batched_train=False)`` or ``train(..., batched=False)``),
+no longer as a routing fallback: batched-trained models match
+loop-trained models to ~1e-12 in every parameter (centres, weights and
+knots bit for bit; solver-touched coefficients to 1e-12 relative) and
+answer queries identically to 1e-9.
 """
 
 from __future__ import annotations
@@ -56,8 +65,8 @@ from repro.core.batched import _chunk_by_budget, _csr_take_rows
 from repro.core.config import DBEstConfig
 from repro.core.model import ColumnSetModel, _make_regressor
 from repro.core.parallel import chunk_bounds_weighted, map_parallel
-from repro.errors import ModelTrainingError
-from repro.ml.kde import KernelDensityEstimator
+from repro.errors import InvalidParameterError, ModelTrainingError
+from repro.ml.kde import KernelDensityEstimator, MultivariateKDE
 from repro.ml.linear import LinearRegressor, PiecewiseLinearRegressor
 
 # Relative size of the iterative-refinement correction above which a
@@ -293,6 +302,149 @@ def _fit_densities(
         "sup_hi": sup_hi,
         "reflect": reflect,
         "degenerate": degenerate,
+    }
+
+
+def _fit_multivariate_densities(
+    xmat: np.ndarray,
+    offsets: np.ndarray,
+    config: DBEstConfig,
+    template: MultivariateKDE,
+) -> dict:
+    """Fit every modelled group's product-kernel KDE in shared passes.
+
+    Replicates :meth:`MultivariateKDE.fit` on each group's ``(n_g, d)``
+    slice: per-dimension Scott/Silverman bandwidths from segmented moment
+    reductions, and — for groups above the binning threshold — the
+    ``np.histogramdd`` compression via one vectorised binning pass whose
+    edge arithmetic (``np.linspace`` edges, searchsorted-right bin codes
+    with the right-edge fold) matches numpy's bit for bit.  Returns the
+    ragged per-group centre/weight arrays plus the ``(G, d)`` bandwidth
+    and domain arrays.
+    """
+    counts = np.diff(offsets)
+    starts = offsets[:-1]
+    m = counts.shape[0]
+    d = xmat.shape[1]
+    nf = counts.astype(np.float64)
+    lo = np.minimum.reduceat(xmat, starts, axis=0)
+    hi = np.maximum.reduceat(xmat, starts, axis=0)
+
+    # Per-dimension bandwidths; constant dimensions are detected from
+    # the range (min == max, bit-robust where sigma == 0.0 depends on
+    # summation order) and take the rules' degenerate-spread fallback
+    # (max(|x[0]|, 1) * 1e-3), exactly as MultivariateKDE.fit does; the
+    # scalar fit's 1e-12 floor is applied at the end.
+    degenerate = lo == hi
+    mean = np.add.reduceat(xmat, starts, axis=0) / nf[:, None]
+    dev2 = xmat - np.repeat(mean, counts, axis=0)
+    dev2 *= dev2
+    sigma = np.sqrt(np.add.reduceat(dev2, starts, axis=0) / nf[:, None])
+    first_abs = np.maximum(np.abs(xmat[starts, :]), 1.0) * 1e-3
+    if config.kde_bandwidth == "scott":
+        spread = np.where(degenerate | (sigma == 0.0), first_abs, sigma)
+        h = spread * nf[:, None] ** (-1.0 / 5.0)
+    else:  # silverman
+        group_ids = np.repeat(np.arange(m), counts)
+        spread = np.empty((m, d))
+        for j in range(d):
+            xsj = xmat[:, j]
+            xsj_sorted = xsj[np.lexsort((xsj, group_ids))]
+            quant = segmented_quantiles(
+                xsj_sorted, starts, counts, np.asarray([0.75, 0.25])
+            )
+            iqr = quant[:, 0] - quant[:, 1]
+            sj = np.where(
+                iqr > 0, np.minimum(sigma[:, j], iqr / 1.349), sigma[:, j]
+            )
+            spread[:, j] = np.where(
+                degenerate[:, j] | (sj == 0.0), first_abs[:, j], sj
+            )
+        h = 0.9 * spread * nf[:, None] ** (-1.0 / 5.0)
+    h = np.maximum(h, 1e-12)
+
+    # Binned compression: np.histogramdd per group becomes bincounts over
+    # (group, flattened d-dimensional bin) codes, with groups chunked so
+    # the dense cell array stays inside the element budget (bins**d grows
+    # fast with d; one group per bincount is the scalar fit's footprint).
+    binned_centres: dict[int, np.ndarray] = {}
+    binned_weights: dict[int, np.ndarray] = {}
+    binned_sel = np.empty(0, dtype=np.int64)
+    if config.kde_binned:
+        binned_sel = np.flatnonzero(counts > template.bin_threshold)
+    if binned_sel.size:
+        n_bins = template.bins_per_dim
+        first = lo[binned_sel].copy()
+        last = hi[binned_sel].copy()
+        flat_range = first == last
+        first[flat_range] -= 0.5
+        last[flat_range] += 0.5
+        edges = np.linspace(first, last, n_bins + 1, axis=-1)  # (B, d, bins+1)
+        rows = _csr_take_rows(offsets, binned_sel)
+        xb = xmat[rows]
+        local_g = np.repeat(np.arange(binned_sel.size), counts[binned_sel])
+        row_offsets = np.concatenate(
+            ([0], np.cumsum(counts[binned_sel]))
+        ).astype(np.int64)
+        # histogramdd bin codes: one searchsorted per (group, dim) on the
+        # group's own edges — the very operation np.histogramdd performs,
+        # hence bit-exact — with values on the rightmost edge folded into
+        # the last bin.  Binned groups are few and large, so the per-group
+        # loop costs nothing next to the searches themselves.
+        flat = np.zeros(xb.shape[0], dtype=np.int64)
+        for j in range(d):
+            cnt = np.empty(xb.shape[0], dtype=np.int64)
+            for b in range(binned_sel.size):
+                r0, r1 = row_offsets[b], row_offsets[b + 1]
+                cnt[r0:r1] = np.searchsorted(
+                    edges[b, j], xb[r0:r1, j], side="right"
+                )
+            flat = flat * n_bins + np.clip(cnt - 1, 0, n_bins - 1)
+        n_cells = n_bins ** d
+        centres_axes = 0.5 * (edges[:, :, :-1] + edges[:, :, 1:])
+        digit_strides = [n_bins ** (d - 1 - j) for j in range(d)]
+        per_chunk = max(1, int(_BLOCK_ELEMENTS // n_cells))
+        for b0 in range(0, binned_sel.size, per_chunk):
+            b1 = min(b0 + per_chunk, binned_sel.size)
+            r0, r1 = row_offsets[b0], row_offsets[b1]
+            chunk_counts = np.bincount(
+                (local_g[r0:r1] - b0) * n_cells + flat[r0:r1],
+                minlength=(b1 - b0) * n_cells,
+            ).reshape(b1 - b0, n_cells)
+            for b in range(b0, b1):
+                g = int(binned_sel[b])
+                cell_counts = chunk_counts[b - b0]
+                kept = np.flatnonzero(cell_counts)
+                # C-order flat index -> per-dimension digit, exactly the
+                # meshgrid-ravel layout the scalar fit keeps.
+                binned_centres[g] = np.stack(
+                    [
+                        centres_axes[b, j, (kept // digit_strides[j]) % n_bins]
+                        for j in range(d)
+                    ],
+                    axis=1,
+                )
+                binned_weights[g] = (
+                    cell_counts[kept].astype(np.float64) / nf[g]
+                )
+
+    flat_weights = np.repeat(1.0 / nf, counts)
+    centres_list: list[np.ndarray] = []
+    weights_list: list[np.ndarray] = []
+    for g in range(m):
+        if g in binned_centres:
+            centres_list.append(binned_centres[g])
+            weights_list.append(binned_weights[g])
+        else:
+            seg = slice(starts[g], starts[g] + counts[g])
+            centres_list.append(xmat[seg].copy())
+            weights_list.append(flat_weights[seg].copy())
+    return {
+        "centres": centres_list,
+        "weights": weights_list,
+        "h": h,
+        "lo": lo,
+        "hi": hi,
     }
 
 
@@ -570,6 +722,132 @@ def _fit_generic_regressors(
 # -- orchestration -----------------------------------------------------------
 
 
+def _train_batched_models_nd(
+    sample_x: np.ndarray,
+    sample_y: np.ndarray | None,
+    sample_part: GroupPartition,
+    modelled_mask: np.ndarray,
+    table_name: str,
+    x_columns: tuple[str, ...],
+    y_column: str | None,
+    population: dict,
+    config: DBEstConfig,
+) -> dict:
+    """Multivariate leg of :func:`train_batched_models`.
+
+    Densities are product-kernel KDEs built from the shared vectorised
+    passes of :func:`_fit_multivariate_densities`; OLS regressors join a
+    ``d + 1``-wide stacked normal-equation solve; everything else (tree /
+    boosted / ensemble regressors) runs the same per-group fits the
+    scalar loop makes, fanned over row-weighted chunks.
+    """
+    d = sample_x.shape[1]
+    modelled = np.flatnonzero(modelled_mask)
+    if modelled.size == 0:
+        # All-raw sets never construct a density, so the bandwidth is
+        # never consumed — the scalar loop trains them without error.
+        return {}
+    if not isinstance(config.kde_bandwidth, str):
+        # The same contract ColumnSetModel.train enforces per group.
+        raise InvalidParameterError(
+            f"multivariate predicates need a bandwidth rule name, "
+            f"got the fixed bandwidth {config.kde_bandwidth!r}; "
+            f"the product-kernel KDE has one bandwidth per dimension"
+        )
+    # Validates the KDE configuration once and supplies the defaults the
+    # trainer mirrors, exactly as the 1-D leg does.
+    template = MultivariateKDE(
+        bandwidth=config.kde_bandwidth,
+        binned=config.kde_binned,
+        bins_per_dim=config.kde_bins_per_dim,
+        bin_threshold=config.kde_bin_threshold,
+    )
+
+    source_rows = sample_part.order[
+        _csr_take_rows(sample_part.offsets, modelled)
+    ]
+    xmat = sample_x[source_rows, :]
+    offsets = np.concatenate(
+        ([0], np.cumsum(sample_part.counts[modelled]))
+    ).astype(np.int64)
+    counts = np.diff(offsets)
+
+    density_state = _fit_multivariate_densities(xmat, offsets, config, template)
+
+    ys = None
+    regressors: list = [None] * modelled.size
+    residual_global = np.zeros(modelled.size)
+    generic = False
+    fit_regressors = sample_y is not None and y_column is not None
+    if fit_regressors:
+        ys = np.asarray(sample_y, dtype=np.float64).ravel()[source_rows]
+        if config.regressor == "linear":
+            design = np.empty((xmat.shape[0], d + 1))
+            design[:, 0] = 1.0
+            design[:, 1:] = xmat
+            coefs = _solve_stacked(design, ys, offsets)
+            regressors = [
+                LinearRegressor.from_coef(coefs[g])
+                for g in range(modelled.size)
+            ]
+            coef_rows = coefs[np.repeat(np.arange(modelled.size), counts)]
+            residual_sq = ys - np.einsum("nk,nk->n", design, coef_rows)
+            residual_sq *= residual_sq
+            residual_global = np.add.reduceat(residual_sq, offsets[:-1]) / counts
+        else:
+            # "plr" raises inside the per-group fit exactly as the scalar
+            # trainer does (piecewise-linear splines are 1-D only); tree,
+            # boosted and ensemble regressors have no stacked
+            # multivariate closed form.
+            generic = True
+            regressors = _fit_generic_regressors(xmat, ys, offsets, config)
+
+    models: dict = {}
+    values = (
+        sample_part.values.tolist()
+        if hasattr(sample_part.values, "tolist")
+        else list(sample_part.values)
+    )
+    for i, g in enumerate(modelled.tolist()):
+        value = values[g]
+        density = MultivariateKDE.from_fit_state(
+            centres=density_state["centres"][i],
+            weights=density_state["weights"][i],
+            h=density_state["h"][i],
+            domain_low=density_state["lo"][i],
+            domain_high=density_state["hi"][i],
+            n_train=int(counts[i]),
+            bandwidth=config.kde_bandwidth,
+            binned=config.kde_binned,
+            bins_per_dim=config.kde_bins_per_dim,
+            bin_threshold=template.bin_threshold,
+        )
+        model = ColumnSetModel.from_fitted_parts(
+            table_name=table_name,
+            x_columns=tuple(x_columns),
+            y_column=y_column,
+            population_size=population[value],
+            density=density,
+            regressor=regressors[i],
+            x_domain=[
+                (float(density_state["lo"][i][j]),
+                 float(density_state["hi"][i][j]))
+                for j in range(d)
+            ],
+            n_sample=int(counts[i]),
+            config=config,
+            residual_var_global=float(residual_global[i]),
+        )
+        if generic and regressors[i] is not None:
+            # No stacked residual form for nonlinear regressors: the
+            # scalar trainer's own pass on the same rows (global scalar
+            # only — multivariate models keep no residual bins).
+            seg = slice(offsets[i], offsets[i + 1])
+            model._fit_residual_variance(xmat[seg], ys[seg])
+        models[value] = model
+    return models
+
+
 def train_batched_models(
     sample_x: np.ndarray,
     sample_y: np.ndarray | None,
@@ -580,18 +858,21 @@ def train_batched_models(
     y_column: str | None,
     population: dict,
     config: DBEstConfig,
-) -> dict | None:
+) -> dict:
     """Build the ``models`` dict of a GroupByModelSet in batched passes.
 
-    Returns None when the set cannot be batch-trained (multivariate
-    predicates) so the caller falls back to the scalar loop.  ``sample_x``
-    must already be a float64 ``(n, d)`` matrix and ``sample_part`` the
-    sample's :class:`GroupPartition` aligned to the full table's group
-    values; ``modelled_mask`` flags the groups whose sample is large
-    enough to model (the rest stay raw).
+    Handles 1-D and multivariate predicate sets alike (the latter
+    through :func:`_train_batched_models_nd`).  ``sample_x`` must already
+    be a float64 ``(n, d)`` matrix and ``sample_part`` the sample's
+    :class:`GroupPartition` aligned to the full table's group values;
+    ``modelled_mask`` flags the groups whose sample is large enough to
+    model (the rest stay raw).
     """
     if sample_x.shape[1] != 1:
-        return None
+        return _train_batched_models_nd(
+            sample_x, sample_y, sample_part, modelled_mask,
+            table_name, x_columns, y_column, population, config,
+        )
     modelled = np.flatnonzero(modelled_mask)
     if modelled.size == 0:
         return {}
@@ -601,6 +882,7 @@ def train_batched_models(
         bandwidth=config.kde_bandwidth,
         binned=config.kde_binned,
         n_bins=config.kde_bins,
+        bin_threshold=config.kde_bin_threshold,
     )
 
     # One gather collects all modelled rows in group-major original order.

@@ -26,6 +26,12 @@ class DBEstConfig:
         choices exist for the regressor ablation.
     kde_bandwidth / kde_binned / kde_bins:
         Density-estimator settings (see :mod:`repro.ml.kde`).
+    kde_bins_per_dim / kde_bin_threshold:
+        Multivariate histogram resolution (bins *per dimension* — the
+        d-dimensional grid holds ``kde_bins_per_dim ** d`` cells, so this
+        is deliberately separate from the 1-D ``kde_bins``) and the
+        sample size above which binned compression kicks in for both the
+        1-D and the multivariate estimator.
     integration_points:
         Simpson grid size for regression-weighted integrals (odd, >= 3).
     integration_method:
@@ -46,18 +52,18 @@ class DBEstConfig:
     batched_groupby:
         Answer GROUP BY aggregates for all groups in one vectorised pass
         (see :mod:`repro.core.batched`) instead of the per-group scalar
-        loop.  Sets the batched path cannot stack (multivariate
-        predicates, adaptive quadrature, exotic densities) silently fall
-        back to the scalar loop regardless of this flag.
+        loop.  Both 1-D and multivariate predicate sets stack; the rare
+        sets the batched path cannot stack (adaptive quadrature, exotic
+        densities, mixed regressor presence) silently fall back to the
+        scalar loop regardless of this flag.
     batched_train:
         Build GROUP BY model sets with the batched trainer
         (:mod:`repro.core.batched_train`): one sorted partition of the
-        sample, all KDEs from segmented reductions and one 2-D bincount,
-        all OLS/piecewise-linear regressors from stacked normal
-        equations.  Sets it cannot batch (multivariate predicates)
-        silently fall back to the per-group training loop regardless of
-        this flag; nonlinear regressors keep batched density fitting but
-        fit per group through chunked ``map_parallel``.
+        sample, all KDEs — 1-D and multivariate product kernels — from
+        segmented reductions and one global bincount, all
+        OLS/piecewise-linear regressors from stacked normal equations.
+        Nonlinear regressors keep batched density fitting but fit per
+        group through chunked ``map_parallel``.
     random_seed:
         Seed for sampling and model training; None draws fresh entropy.
     """
@@ -67,6 +73,8 @@ class DBEstConfig:
     kde_bandwidth: str | float = "scott"
     kde_binned: bool = True
     kde_bins: int = 2048
+    kde_bins_per_dim: int = 64
+    kde_bin_threshold: int = 5000
     integration_points: int = 257
     integration_method: str = "simpson"
     min_group_rows: int = 30
@@ -108,4 +116,12 @@ class DBEstConfig:
         if self.min_group_rows < 1:
             raise InvalidParameterError(
                 f"min_group_rows must be >= 1, got {self.min_group_rows}"
+            )
+        if self.kde_bins_per_dim < 2:
+            raise InvalidParameterError(
+                f"kde_bins_per_dim must be >= 2, got {self.kde_bins_per_dim}"
+            )
+        if self.kde_bin_threshold < 1:
+            raise InvalidParameterError(
+                f"kde_bin_threshold must be >= 1, got {self.kde_bin_threshold}"
             )

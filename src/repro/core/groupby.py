@@ -183,11 +183,11 @@ class GroupByModelSet:
 
         Training defaults to the batched trainer
         (:mod:`repro.core.batched_train`), which partitions the sample
-        once and fits every group's density and regressor in shared
-        vectorised passes; the per-group loop below remains as the parity
-        oracle, as the fallback for sets the batched trainer cannot stack
-        (multivariate predicates), and as an explicit opt-out
-        (``batched=False`` or ``DBEstConfig(batched_train=False)``).
+        once and fits every group's density and regressor — 1-D and
+        multivariate predicate sets alike — in shared vectorised passes;
+        the per-group loop below remains as the parity oracle and as an
+        explicit opt-out (``batched=False`` or
+        ``DBEstConfig(batched_train=False)``).
         Either way both trainers and the ``RawGroup`` collection share
         one sorted partition per table — no path re-scans the sample or
         the full data per group.
@@ -326,10 +326,11 @@ class GroupByModelSet:
     ) -> dict:
         """Answer one aggregate for every group.
 
-        The default path stacks all groups into the batched evaluator
-        and answers them in one vectorised pass — the per-group loop the
-        paper's §4.7 identifies as its Python bottleneck survives only as
-        a fallback.  ``batched`` overrides the config knob; sets the
+        The default path stacks all groups — 1-D and multivariate
+        predicate sets alike — into the batched evaluator and answers
+        them in one vectorised pass; the per-group loop the paper's §4.7
+        identifies as its Python bottleneck survives only as a fallback.
+        ``batched`` overrides the config knob; the rare sets the
         evaluator cannot stack silently use the scalar loop.
 
         Per-group evaluation is embarrassingly parallel (paper §4.7.1);

@@ -125,15 +125,20 @@ class ColumnSetModel:
                 bandwidth=config.kde_bandwidth,
                 binned=config.kde_binned,
                 n_bins=config.kde_bins,
+                bin_threshold=config.kde_bin_threshold,
             ).fit(x_matrix[:, 0])
         else:
+            if not isinstance(config.kde_bandwidth, str):
+                raise InvalidParameterError(
+                    f"multivariate predicates need a bandwidth rule name, "
+                    f"got the fixed bandwidth {config.kde_bandwidth!r}; "
+                    f"the product-kernel KDE has one bandwidth per dimension"
+                )
             density = MultivariateKDE(
-                bandwidth=(
-                    config.kde_bandwidth
-                    if isinstance(config.kde_bandwidth, str)
-                    else "scott"
-                ),
+                bandwidth=config.kde_bandwidth,
                 binned=config.kde_binned,
+                bins_per_dim=config.kde_bins_per_dim,
+                bin_threshold=config.kde_bin_threshold,
             ).fit(x_matrix)
 
         regressor = None

@@ -77,7 +77,10 @@ class EnsembleRegressor:
         self.models_: dict[str, object] = {}
         self.selector_: DecisionTreeClassifier | None = None
         self._default_name: str | None = None
-        self._domain: tuple[float, float] | None = None
+        # Observed feature domain, recorded by every fit path: (lo, hi)
+        # for 1-D fits, a tuple of per-dimension (lo, hi) pairs for
+        # multivariate fits, None only before fit().
+        self._domain: tuple | None = None
 
     # -- fitting ---------------------------------------------------------
 
@@ -132,8 +135,19 @@ class EnsembleRegressor:
         return self
 
     def _fit_multivariate(self, X: np.ndarray, y: np.ndarray) -> "EnsembleRegressor":
-        """d>1 features: fit tree constituents only, keep the global best."""
+        """d>1 features: fit tree constituents only, keep the global best.
+
+        Records the same fitted invariants as the 1-D path — the observed
+        feature ``_domain`` (per-dimension bounds) and ``_default_name`` —
+        so export and introspection code never has to special-case
+        multivariate ensembles, and validates the row counts with the
+        same error the 1-D path raises.
+        """
         y = np.asarray(y, dtype=np.float64).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ModelTrainingError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]}"
+            )
         self.models_ = {}
         for name, factory in self._factories.items():
             model = factory()
@@ -150,7 +164,10 @@ class EnsembleRegressor:
         }
         self._default_name = min(errors, key=errors.get)
         self.selector_ = None
-        self._domain = None
+        self._domain = tuple(
+            (float(X[:, j].min()), float(X[:, j].max()))
+            for j in range(X.shape[1])
+        )
         return self
 
     # -- prediction --------------------------------------------------------

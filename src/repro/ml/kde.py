@@ -45,6 +45,24 @@ class MixtureState(NamedTuple):
     n_train: int
 
 
+class ProductMixtureState(NamedTuple):
+    """Flat view of a fitted product-kernel KDE for batch evaluators.
+
+    The d-dimensional analogue of :class:`MixtureState`: ``centres`` is
+    ``(m, d)``, ``h`` the per-dimension bandwidth vector, and
+    ``domain_low`` / ``domain_high`` the observed domain box whose raw
+    mixture mass ``norm`` renormalises every public density/integral.
+    """
+
+    centres: np.ndarray
+    weights: np.ndarray
+    h: np.ndarray
+    domain_low: np.ndarray
+    domain_high: np.ndarray
+    norm: float
+    n_train: int
+
+
 def scott_bandwidth(x: np.ndarray) -> float:
     """Scott's rule bandwidth: ``sigma * n^(-1/5)`` for 1-D data."""
     n = x.shape[0]
@@ -387,6 +405,10 @@ class MultivariateKDE:
                 f"unknown bandwidth rule {bandwidth!r}; "
                 f"expected one of {sorted(_BANDWIDTH_RULES)}"
             )
+        if bins_per_dim < 2:
+            raise InvalidParameterError(
+                f"bins_per_dim must be >= 2, got {bins_per_dim}"
+            )
         self.bandwidth = bandwidth
         self.binned = binned
         self.bins_per_dim = bins_per_dim
@@ -407,7 +429,20 @@ class MultivariateKDE:
         n, d = x.shape
         self.n_train, self.n_dims = n, d
         rule = _BANDWIDTH_RULES[self.bandwidth]
-        self._h = np.asarray([max(rule(x[:, j]), 1e-12) for j in range(d)])
+        h = np.empty(d)
+        for j in range(d):
+            col = x[:, j]
+            if col.min() == col.max():
+                # Constant columns: np.std can round to a tiny nonzero
+                # value depending on summation order, so detect
+                # degeneracy from the range and apply the rules' own
+                # degenerate-spread fallback deterministically.
+                spread = max(abs(float(col[0])), 1.0) * 1e-3
+                factor = 0.9 if self.bandwidth == "silverman" else 1.0
+                h[j] = factor * spread * n ** (-1.0 / 5.0)
+            else:
+                h[j] = rule(col)
+        self._h = np.maximum(h, 1e-12)
 
         if self.binned and n > self.bin_threshold:
             counts, edges = np.histogramdd(x, bins=self.bins_per_dim)
@@ -432,6 +467,48 @@ class MultivariateKDE:
         )
         return self
 
+    @classmethod
+    def from_fit_state(
+        cls,
+        centres: np.ndarray,
+        weights: np.ndarray,
+        h: np.ndarray,
+        domain_low: np.ndarray,
+        domain_high: np.ndarray,
+        n_train: int,
+        bandwidth: str = "scott",
+        binned: bool = True,
+        bins_per_dim: int = 64,
+        bin_threshold: int = 5000,
+    ) -> "MultivariateKDE":
+        """Construct a fitted estimator from precomputed mixture state.
+
+        The multivariate analogue of
+        :meth:`KernelDensityEstimator.from_fit_state`: the batched trainer
+        computes every group's centres, weights and per-dimension
+        bandwidths in shared vectorised passes and assembles estimators
+        here.  The domain normaliser ``_norm`` is recomputed through
+        :meth:`_raw_box_mass` — the exact code path :meth:`fit` runs — so
+        the result is bit-identical to fitting the same data directly.
+        """
+        est = cls(
+            bandwidth=bandwidth,
+            binned=binned,
+            bins_per_dim=bins_per_dim,
+            bin_threshold=bin_threshold,
+        )
+        est._centres = np.atleast_2d(np.asarray(centres, dtype=np.float64))
+        est._weights = np.asarray(weights, dtype=np.float64)
+        est._h = np.asarray(h, dtype=np.float64)
+        est.n_train = int(n_train)
+        est.n_dims = int(est._centres.shape[1])
+        est._domain_low = np.asarray(domain_low, dtype=np.float64)
+        est._domain_high = np.asarray(domain_high, dtype=np.float64)
+        est._norm = max(
+            est._raw_box_mass(est._domain_low, est._domain_high), 1e-12
+        )
+        return est
+
     @property
     def is_fitted(self) -> bool:
         return self._centres is not None
@@ -447,7 +524,13 @@ class MultivariateKDE:
         h = self._h
         norm = float(np.prod(h)) * _SQRT_2PI ** self.n_dims
         out = np.zeros(x.shape[0])
-        chunk = max(1, int(2_000_000 // max(x.shape[0], 1)))
+        # The (points, chunk, d) difference tensor holds points*chunk*d
+        # elements, so the element budget must be divided by d as well —
+        # budgeting on points alone made the temporary d times larger
+        # than intended and could exhaust memory for high-d queries.
+        chunk = max(
+            1, int(2_000_000 // (max(x.shape[0], 1) * max(self.n_dims, 1)))
+        )
         for start in range(0, self._centres.shape[0], chunk):
             c = self._centres[start : start + chunk]
             w = self._weights[start : start + chunk]
@@ -484,3 +567,21 @@ class MultivariateKDE:
         if np.any(highs < lows):
             return 0.0
         return self._raw_box_mass(lows, highs) / self._norm
+
+    def export_mixture(self) -> ProductMixtureState:
+        """Flat mixture parameters for stacking into batched evaluators.
+
+        The multivariate analogue of
+        :meth:`KernelDensityEstimator.export_mixture`.  The arrays are
+        the estimator's own (not copies); treat them as read-only.
+        """
+        self._require_fitted()
+        return ProductMixtureState(
+            centres=self._centres,
+            weights=self._weights,
+            h=self._h,
+            domain_low=self._domain_low,
+            domain_high=self._domain_high,
+            norm=float(self._norm),
+            n_train=self.n_train,
+        )

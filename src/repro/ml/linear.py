@@ -76,13 +76,12 @@ class LinearRegressor:
     def export_batch_state(self) -> tuple:
         """``("linear", coef)`` for stacking into batched evaluators.
 
-        Only 1-D models are stackable; multivariate fits return None so
-        callers fall back to per-model :meth:`predict`.
+        ``coef`` is ``[intercept, slopes...]``; a prediction at ``x`` is
+        ``coef[0] + x @ coef[1:]`` for 1-D and multivariate fits alike —
+        callers stack groups of equal feature width into one affine pass.
         """
         if self._coef is None:
             raise ModelTrainingError("linear model used before fit()")
-        if self._coef.shape[0] != 2:
-            return None
         return ("linear", self._coef)
 
 

@@ -233,7 +233,10 @@ class TestParallelBatched:
 
 
 class TestFallbacks:
-    def test_multivariate_falls_back(self):
+    def test_multivariate_stacks(self):
+        # Multivariate predicate sets stack since the multivariate
+        # batching PR; the deep parity suite lives in
+        # tests/test_batched_multivariate.py.
         rng = np.random.default_rng(2)
         groups = np.repeat(np.arange(3), 300)
         x = rng.uniform(0, 10, size=(groups.shape[0], 2))
@@ -245,11 +248,16 @@ class TestFallbacks:
             table_name="t", x_columns=("a", "b"), y_column="y",
             group_column="g", config=config,
         )
-        assert model_set.batched_evaluator() is None
-        answers = model_set.answer(
+        assert model_set.batched_evaluator() is not None
+        got = model_set.answer(
             AggregateCall("AVG", "y"), {"a": (2.0, 8.0)}, batched=True
         )
-        assert len(answers) == 3  # scalar loop answered despite batched=True
+        expected = model_set.answer(
+            AggregateCall("AVG", "y"), {"a": (2.0, 8.0)}, batched=False
+        )
+        assert set(got) == set(expected)
+        for value, answer in expected.items():
+            assert abs(got[value] - answer) <= 1e-9 * max(1.0, abs(answer))
 
     def test_quad_method_falls_back(self):
         rng = np.random.default_rng(4)

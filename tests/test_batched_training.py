@@ -262,7 +262,7 @@ class TestAllRawSet:
         assert len(model_set.raw_groups) == 8
 
 
-# -- routing: default, opt-outs, multivariate fallback -----------------------
+# -- routing: default, opt-outs, multivariate sets ---------------------------
 
 
 class TestTrainerRouting:
@@ -302,13 +302,16 @@ class TestTrainerRouting:
         )
         assert len(model_set.models) == 6
 
-    def test_multivariate_returns_none(self):
+    def test_multivariate_trains_batched(self):
+        # Multivariate sets no longer fall out of the batched trainer:
+        # train_batched_models returns real product-kernel models (the
+        # deep parity suite lives in tests/test_batched_multivariate.py).
         rng = np.random.default_rng(5)
         n = 200
         x = rng.uniform(0.0, 10.0, size=(n, 2))
         groups = np.repeat(np.arange(2), n // 2)
         part = GroupPartition.from_groups(groups)
-        assert train_batched_models(
+        models = train_batched_models(
             sample_x=x,
             sample_y=None,
             sample_part=part,
@@ -318,10 +321,19 @@ class TestTrainerRouting:
             y_column=None,
             population={0: 100, 1: 100},
             config=DBEstConfig(),
-        ) is None
+        )
+        assert set(models) == {0, 1}
+        assert all(model.n_dims == 2 for model in models.values())
 
-    def test_multivariate_set_still_trains(self):
-        # The multivariate fallback is transparent at the train() level.
+    def test_multivariate_set_trains_through_default_path(self, monkeypatch):
+        calls = []
+        original = train_batched_models
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr("repro.core.groupby.train_batched_models", spy)
         rng = np.random.default_rng(5)
         n = 400
         x = rng.uniform(0.0, 10.0, size=(n, 2))
@@ -337,6 +349,7 @@ class TestTrainerRouting:
             group_column="g", config=config,
         )
         assert len(model_set.models) == 2
+        assert calls  # the batched trainer handled the multivariate set
 
 
 # -- shared partition / kernel helpers ---------------------------------------
