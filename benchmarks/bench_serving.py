@@ -1,0 +1,122 @@
+"""Serving throughput: coalescing query server vs naive sequential execute.
+
+Not a paper figure: this benchmarks the repo's own serving subsystem
+(:mod:`repro.serve`) against the one-blocking-query-at-a-time
+``DBEst.execute`` loop it layers over.  The workload models dashboard
+traffic against a 200-group model set: 400 queries drawn from 16
+templates mixing COUNT/SUM/AVG group-by aggregates and scalar AVG over
+four bounds templates — many users asking near-identical questions.
+The sequential baseline answers them one by one on a warm engine (so it
+keeps the engine's own memoised pdf grids); the server additionally
+parses each template once, coalesces queued lookalikes into shared
+engine passes, and memoises per-aggregate answers.
+
+Results are asserted (the server must clear ``SPEEDUP_FLOOR`` queries/s
+over sequential with every answer within 1e-9 relative) and recorded to
+``BENCH_serving.json`` at the repo root so the performance trajectory
+is tracked across PRs.
+
+Run directly (``python benchmarks/bench_serving.py``) or through pytest
+(``pytest benchmarks/bench_serving.py``; marked slow).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import _serving_divergence, _serving_fixture
+from repro.serve import QueryServer
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+N_GROUPS = 200
+ROWS_PER_GROUP = 40
+N_QUERIES = 400
+N_WORKERS = 4
+SPEEDUP_FLOOR = 3.0
+PARITY_BOUND = 1e-9
+SEED = 7
+
+
+def run_benchmark() -> dict:
+    engine, distinct = _serving_fixture(N_GROUPS, ROWS_PER_GROUP, SEED)
+    rng = np.random.default_rng(SEED)
+    workload = [
+        distinct[i] for i in rng.integers(0, len(distinct), N_QUERIES)
+    ]
+    engine.execute(workload[0])  # warm-up: evaluator stacking, imports
+
+    start = time.perf_counter()
+    sequential = [engine.execute(sql) for sql in workload]
+    sequential_s = time.perf_counter() - start
+
+    with QueryServer(engine, n_workers=N_WORKERS) as server:
+        start = time.perf_counter()
+        served = server.run(workload)
+        served_s = time.perf_counter() - start
+        stats = server.stats()
+
+    record = {
+        "bench": "serving",
+        "n_groups": N_GROUPS,
+        "rows_per_group": ROWS_PER_GROUP,
+        "n_queries": N_QUERIES,
+        "n_templates": len(distinct),
+        "n_workers": N_WORKERS,
+        "sequential_seconds": sequential_s,
+        "served_seconds": served_s,
+        "sequential_qps": N_QUERIES / sequential_s,
+        "served_qps": N_QUERIES / served_s,
+        "speedup": sequential_s / served_s,
+        "max_divergence": _serving_divergence(sequential, served),
+        "batches": stats["batches"],
+        "coalesced": stats["coalesced"],
+        "engine_calls": stats["engine_calls"],
+        "answer_cache": stats["answer_cache"],
+        "plan_cache": stats["plan_cache"],
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+@pytest.mark.slow
+def test_serving_throughput_and_parity():
+    record = run_benchmark()
+    assert record["max_divergence"] <= PARITY_BOUND
+    assert record["speedup"] >= SPEEDUP_FLOOR, (
+        f"query server only {record['speedup']:.1f}x over sequential "
+        f"execute; need >= {SPEEDUP_FLOOR}x "
+        f"({record['sequential_qps']:.0f} -> {record['served_qps']:.0f} q/s, "
+        f"{record['engine_calls']} engine calls for "
+        f"{record['n_queries']} queries)"
+    )
+
+
+def main() -> int:
+    record = run_benchmark()
+    print(f"serving benchmark ({record['n_queries']} queries, "
+          f"{record['n_templates']} templates, {record['n_groups']} groups, "
+          f"{record['n_workers']} workers)")
+    print(f"  sequential execute {record['sequential_seconds']:8.3f}s "
+          f"({record['sequential_qps']:8.0f} q/s)")
+    print(f"  query server       {record['served_seconds']:8.3f}s "
+          f"({record['served_qps']:8.0f} q/s)   "
+          f"{record['speedup']:.1f}x")
+    print(f"  {record['batches']} batches, {record['coalesced']} coalesced, "
+          f"{record['engine_calls']} engine calls, "
+          f"max divergence {record['max_divergence']:.2e}")
+    print(f"record written to {RESULT_PATH}")
+    return 0 if (
+        record["speedup"] >= SPEEDUP_FLOOR
+        and record["max_divergence"] <= PARITY_BOUND
+    ) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

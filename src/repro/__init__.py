@@ -33,6 +33,7 @@ from repro.core import (
 )
 from repro.engines import ExactEngine, StratifiedAQPEngine, UniformAQPEngine
 from repro.errors import ReproError
+from repro.serve import AnswerCache, ModelStore, PlanCache, QueryServer
 from repro.sql import parse_query
 from repro.storage import Table, read_csv, write_csv
 from repro.workloads import (
@@ -47,6 +48,7 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnswerCache",
     "ColumnSetModel",
     "DBEst",
     "DBEstConfig",
@@ -55,7 +57,10 @@ __all__ = [
     "ModelBundle",
     "ModelCatalog",
     "ModelKey",
+    "ModelStore",
+    "PlanCache",
     "QueryResult",
+    "QueryServer",
     "ReproError",
     "StratifiedAQPEngine",
     "Table",

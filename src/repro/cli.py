@@ -1,20 +1,28 @@
 """Command-line interface.
 
-Five subcommands cover the offline workflow the paper describes plus a
-health check for the batched evaluation engine:
+Eight subcommands cover the offline workflow the paper describes, the
+serving loop, and health checks for the batched engine:
 
 * ``generate``    — synthesise one of the evaluation datasets to CSV.
 * ``build``       — sample a CSV table, train a (group-by) model, append
   it to a model catalog on disk.
 * ``query``       — answer SQL from a saved catalog (no base data needed).
+* ``pack-store``  — repack a catalog file as a lazy per-model store
+  directory (:class:`repro.serve.ModelStore`).
+* ``serve``       — answer a stream of SQL (file or stdin) through the
+  coalescing :class:`repro.serve.QueryServer`, from a catalog or store.
 * ``advise``      — mine a query-log file and print which models to build.
 * ``bench-smoke`` — a ~2 second batched-vs-scalar GROUP BY sanity check
   covering both sides of the batched engine: *training* (batched trainer
   vs the per-group loop, wall time + model-parameter parity) and
   *querying* (batched evaluator vs the scalar loop, wall time + answer
   parity), each run for 1-D predicates and for a MULTI leg with a
-  two-column predicate exercising the product-kernel path; exits
-  non-zero if any side disagrees.
+  two-column predicate exercising the product-kernel path, plus a SERVE
+  leg checking that coalesced/cached serving answers match sequential
+  ``execute``; exits non-zero if any side disagrees.
+* ``bench-serve`` — in-process serving throughput check: a mixed
+  workload over a group-by model set, naive sequential ``execute`` vs
+  the query server, with answer parity enforced.
 
 Examples::
 
@@ -22,8 +30,11 @@ Examples::
     python -m repro build --csv ccpp.csv --x T --y EP --catalog models.pkl
     python -m repro query --catalog models.pkl \\
         "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 20;"
+    python -m repro pack-store --catalog models.pkl --store models.store
+    python -m repro serve --store models.store --queries workload.sql
     python -m repro advise --log workload.sql
     python -m repro bench-smoke
+    python -m repro bench-serve
 """
 
 from __future__ import annotations
@@ -78,6 +89,26 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--catalog", type=Path, required=True)
     query.add_argument("sql", help="the query text")
 
+    pack = commands.add_parser(
+        "pack-store",
+        help="repack a catalog file as a lazy per-model store directory",
+    )
+    pack.add_argument("--catalog", type=Path, required=True)
+    pack.add_argument("--store", type=Path, required=True)
+
+    serve = commands.add_parser(
+        "serve",
+        help="answer a stream of SQL through the coalescing query server",
+    )
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--catalog", type=Path, help="pickled catalog file")
+    source.add_argument("--store", type=Path, help="lazy model store directory")
+    serve.add_argument("--queries", type=Path,
+                       help="file with one SQL query per line (default: stdin)")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--cache-bytes", type=int, default=None,
+                       help="store residency budget in bytes (0 = unbounded)")
+
     advise = commands.add_parser("advise", help="recommend models for a query log")
     advise.add_argument("--log", type=Path, required=True,
                         help="file with one SQL query per line")
@@ -91,6 +122,17 @@ def _build_parser() -> argparse.ArgumentParser:
     smoke.add_argument("--rows", type=int, default=60,
                        help="sample rows per group")
     smoke.add_argument("--seed", type=int, default=7)
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="serving throughput vs naive sequential execute",
+    )
+    bench_serve.add_argument("--groups", type=int, default=100)
+    bench_serve.add_argument("--rows", type=int, default=40,
+                             help="sample rows per group")
+    bench_serve.add_argument("--queries", type=int, default=200)
+    bench_serve.add_argument("--workers", type=int, default=4)
+    bench_serve.add_argument("--seed", type=int, default=7)
     return parser
 
 
@@ -132,6 +174,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
     engine = DBEst()
     engine.catalog = ModelCatalog.load(args.catalog)
     result = engine.execute(args.sql)
+    _print_result(result)
+    print(f"({result.elapsed_seconds * 1000:.1f} ms, source={result.source})",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_pack_store(args: argparse.Namespace) -> int:
+    from repro.serve import ModelStore
+
+    catalog = ModelCatalog.load(args.catalog)
+    store = ModelStore.write(catalog, args.store)
+    print(
+        f"packed {len(store)} model(s) "
+        f"({store.total_size_bytes() / 1e6:.2f} MB of records) "
+        f"into {args.store}"
+    )
+    return 0
+
+
+def _print_result(result) -> None:
     for aggregate, value in result.values.items():
         if isinstance(value, dict):
             print(aggregate)
@@ -139,8 +201,75 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 print(f"  {group}\t{group_value:.6g}")
         else:
             print(f"{aggregate}\t{value:.6g}")
-    print(f"({result.elapsed_seconds * 1000:.1f} ms, source={result.source})",
-          file=sys.stderr)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ModelStore, QueryServer
+
+    engine = DBEst()
+    if args.store is not None:
+        engine.catalog = ModelStore(args.store, cache_bytes=args.cache_bytes)
+    else:
+        if args.cache_bytes is not None:
+            print("error: --cache-bytes only applies to --store (a pickled "
+                  "catalog is loaded whole, with no residency budget)",
+                  file=sys.stderr)
+            return 2
+        engine.catalog = ModelCatalog.load(args.catalog)
+    if args.queries is not None:
+        lines = args.queries.read_text().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+    sqls = [
+        line.strip()
+        for line in lines
+        if line.strip() and not line.strip().startswith(("--", "#"))
+    ]
+    if not sqls:
+        print("error: no queries to serve", file=sys.stderr)
+        return 2
+    import time
+
+    start = time.perf_counter()
+    with QueryServer(engine, n_workers=args.workers) as server:
+        # One bad line must not abort the stream: parse errors raise at
+        # submit time and are reported in place of that query's answer.
+        submitted = []
+        for sql in sqls:
+            try:
+                submitted.append((sql, server.submit(sql), None))
+            except ReproError as exc:
+                submitted.append((sql, None, exc))
+        for sql, future, error in submitted:
+            print(f"-- {sql}")
+            if error is None:
+                try:
+                    _print_result(future.result())
+                except Exception as exc:
+                    error = exc
+            if error is not None:
+                print(f"error: {error}")
+        stats = server.stats()
+    elapsed = time.perf_counter() - start
+    qps = len(sqls) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"served {stats['queries']} queries in {elapsed * 1e3:.1f} ms "
+        f"({qps:.0f} q/s): {stats['batches']} engine batches, "
+        f"{stats['coalesced']} coalesced, {stats['engine_calls']} engine "
+        f"calls, {stats['answer_cache']['hits']} answer-cache hits, "
+        f"{stats['plan_cache']['hits']} plan-cache hits",
+        file=sys.stderr,
+    )
+    if "store" in stats:
+        store_stats = stats["store"]
+        print(
+            f"store: {store_stats['resident']}/{store_stats['models']} "
+            f"models resident ({store_stats['resident_bytes'] / 1e6:.2f} MB, "
+            f"budget {store_stats['budget_bytes'] / 1e6:.2f} MB), "
+            f"{store_stats['loads']} loads, "
+            f"{store_stats['evictions']} evictions",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -237,6 +366,134 @@ def _smoke_leg(
     return train_worst, worst
 
 
+def _serving_fixture(
+    groups: int, rows: int, seed: int, sample_size: int | None = None
+):
+    """A DBEst engine with one group-by and one scalar model, plus a
+    mixed serving workload (shared by bench-serve, the SERVE smoke leg,
+    and ``benchmarks/bench_serving.py``)."""
+    import numpy as np
+
+    from repro.storage.table import Table
+
+    rng = np.random.default_rng(seed)
+    n = groups * rows
+    g = np.repeat(np.arange(groups), rows).astype(np.float64)
+    x = rng.uniform(0.0, 100.0, size=n)
+    y = (1.0 + g * 0.05) * x + rng.normal(0.0, 1.0, size=n)
+    config = DBEstConfig(
+        regressor="plr", min_group_rows=min(30, rows),
+        integration_points=65, random_seed=seed,
+    )
+    engine = DBEst(config=config)
+    engine.register_table(Table({"x": x, "y": y, "g": g}, name="served"))
+    size = sample_size or n
+    engine.build_model("served", x="x", y="y", sample_size=size, group_by="g")
+    engine.build_model("served", x="x", y="y", sample_size=size)
+    bounds = [(20.0, 60.0), (10.0, 45.0), (55.0, 90.0), (30.0, 75.0)]
+    distinct = []
+    for lo, hi in bounds:
+        for func, column in (("COUNT", "x"), ("SUM", "y"), ("AVG", "y")):
+            distinct.append(
+                f"SELECT {func}({column}) FROM served "
+                f"WHERE x BETWEEN {lo} AND {hi} GROUP BY g;"
+            )
+        distinct.append(
+            f"SELECT AVG(y) FROM served WHERE x BETWEEN {lo} AND {hi};"
+        )
+    return engine, distinct
+
+
+def _serving_divergence(sequential, served) -> float:
+    """Worst relative divergence between two lists of QueryResults."""
+    import math
+
+    worst = 0.0
+    for seq_result, served_result in zip(sequential, served):
+        for label, expected in seq_result.values.items():
+            got = served_result.values[label]
+            if isinstance(expected, dict):
+                pairs = [(expected[value], got[value]) for value in expected]
+            else:
+                pairs = [(expected, got)]
+            for want, have in pairs:
+                if math.isnan(want) or math.isnan(have):
+                    if math.isnan(want) != math.isnan(have):
+                        worst = float("inf")
+                    continue
+                worst = max(worst, abs(have - want) / max(1.0, abs(want)))
+    return worst
+
+
+def _smoke_serve_leg(args: argparse.Namespace) -> float:
+    """Coalesced/cached serving vs sequential execute; returns worst
+    divergence and prints one SERVE timing row."""
+    import time
+
+    from repro.serve import QueryServer
+
+    engine, distinct = _serving_fixture(
+        min(args.groups, 20), args.rows, args.seed
+    )
+    workload = distinct * 3
+    engine.execute(workload[0])  # warm-up (evaluator stacking)
+    start = time.perf_counter()
+    sequential = [engine.execute(sql) for sql in workload]
+    sequential_s = time.perf_counter() - start
+    with QueryServer(engine, n_workers=2) as server:
+        start = time.perf_counter()
+        served = server.run(workload)
+        served_s = time.perf_counter() - start
+    print(f"{'SERVE':<12} {sequential_s * 1e3:>8.2f}ms {served_s * 1e3:>8.2f}ms "
+          f"{sequential_s / served_s:>7.1f}x")
+    return _serving_divergence(sequential, served)
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Mixed-workload serving throughput vs naive sequential execute."""
+    import time
+
+    import numpy as np
+
+    from repro.serve import QueryServer
+
+    if args.groups < 1 or args.rows < 1 or args.queries < 1:
+        print("error: bench-serve needs positive --groups/--rows/--queries",
+              file=sys.stderr)
+        return 2
+    engine, distinct = _serving_fixture(args.groups, args.rows, args.seed)
+    rng = np.random.default_rng(args.seed)
+    workload = [distinct[i] for i in rng.integers(0, len(distinct), args.queries)]
+    engine.execute(workload[0])  # warm-up (evaluator stacking)
+    start = time.perf_counter()
+    sequential = [engine.execute(sql) for sql in workload]
+    sequential_s = time.perf_counter() - start
+    with QueryServer(engine, n_workers=args.workers) as server:
+        start = time.perf_counter()
+        served = server.run(workload)
+        served_s = time.perf_counter() - start
+        stats = server.stats()
+    worst = _serving_divergence(sequential, served)
+    print(f"{args.queries} queries over {len(distinct)} templates, "
+          f"{args.groups} groups, {args.workers} workers")
+    print(f"sequential execute: {sequential_s:8.3f}s "
+          f"({args.queries / sequential_s:8.0f} q/s)")
+    print(f"query server:       {served_s:8.3f}s "
+          f"({args.queries / served_s:8.0f} q/s)   "
+          f"{sequential_s / served_s:.1f}x")
+    print(f"{stats['batches']} batches, {stats['coalesced']} coalesced, "
+          f"{stats['engine_calls']} engine calls, "
+          f"{stats['answer_cache']['hits']} answer-cache hits, "
+          f"{stats['plan_cache']['hits']} plan-cache hits")
+    print(f"max divergence vs sequential: {worst:.2e}")
+    if worst > 1e-9:
+        print("error: served answers diverge from sequential execute "
+              "beyond 1e-9", file=sys.stderr)
+        return 2
+    print("ok: coalesced/cached serving matches sequential execute")
+    return 0
+
+
 def _cmd_bench_smoke(args: argparse.Namespace) -> int:
     """Batched-vs-scalar GROUP BY check on small synthetic model sets."""
     import numpy as np
@@ -298,14 +555,19 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
     )
     train_worst = max(train_worst, multi_train_worst)
     worst = max(worst, multi_worst)
+
+    # SERVE leg: coalesced/cached serving vs sequential execute.
+    serve_worst = _smoke_serve_leg(args)
     print(f"max answer divergence over {args.groups} groups: {worst:.2e}; "
-          f"max trained-parameter divergence: {train_worst:.2e}")
-    if worst > 1e-9 or train_worst > 1e-9:
-        print("error: batched and scalar paths disagree beyond 1e-9",
-              file=sys.stderr)
+          f"max trained-parameter divergence: {train_worst:.2e}; "
+          f"max serving divergence: {serve_worst:.2e}")
+    if worst > 1e-9 or train_worst > 1e-9 or serve_worst > 1e-9:
+        print("error: batched/scalar or served/sequential paths disagree "
+              "beyond 1e-9", file=sys.stderr)
         return 2
     print("ok: batched training and evaluation match the scalar oracles "
-          "(1-D and multivariate)")
+          "(1-D and multivariate), and coalesced serving matches "
+          "sequential execute")
     return 0
 
 
@@ -313,8 +575,11 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
     "query": _cmd_query,
+    "pack-store": _cmd_pack_store,
+    "serve": _cmd_serve,
     "advise": _cmd_advise,
     "bench-smoke": _cmd_bench_smoke,
+    "bench-serve": _cmd_bench_serve,
 }
 
 

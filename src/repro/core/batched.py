@@ -122,11 +122,50 @@ class BatchedGroupEvaluator:
         # re-evaluating the mixture pdf per aggregate.  Keyed by the
         # per-group bound arrays; bounded FIFO; dropped from pickles.
         self._grid_cache: dict = {}
+        self._grid_hits = 0
+        self._grid_misses = 0
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_grid_cache"] = {}
+        state["_grid_hits"] = 0
+        state["_grid_misses"] = 0
         return state
+
+    def grid_cache_stats(self) -> dict:
+        """Hit/miss/occupancy counters of the memoised pdf-grid cache.
+
+        The serving layer's answer cache sits *above* this one: an
+        answer-cache miss that re-runs a previously-seen bounds template
+        still reuses the exp pass memoised here.  These counters let
+        benchmarks and the query server report both layers.
+        """
+        return {
+            "entries": len(self._grid_cache),
+            "hits": int(getattr(self, "_grid_hits", 0)),
+            "misses": int(getattr(self, "_grid_misses", 0)),
+        }
+
+    def _evict_grid_entries(self, need_room_for: int = 0) -> None:
+        """Drop oldest grid-cache entries down to the configured bounds.
+
+        Tolerates concurrent mutation: the serving layer may answer two
+        different bounds templates against the same evaluator from two
+        threads, so a racing pop is treated as \"someone else evicted
+        it\" rather than an error.
+        """
+        total = need_room_for + sum(
+            entry.get("elements", 0) for entry in list(self._grid_cache.values())
+        )
+        while self._grid_cache and (
+            len(self._grid_cache) >= self._GRID_CACHE_MAX
+            or total > self._ND_GRID_CACHE_ELEMENTS
+        ):
+            try:
+                evicted = self._grid_cache.pop(next(iter(self._grid_cache)))
+            except (StopIteration, KeyError, RuntimeError):
+                break  # racing evictor got there first; best-effort is fine
+            total -= evicted.get("elements", 0)
 
     # -- construction -------------------------------------------------------
 
@@ -839,6 +878,7 @@ class BatchedGroupEvaluator:
         key = (lb.tobytes(), ub.tobytes())
         cache = self._grid_cache.get(key)
         if cache is None:
+            self._grid_misses += 1
             a = np.maximum(lb, state["sup_lo"])
             b = np.minimum(ub, state["sup_hi"])
             active = np.flatnonzero(b > a)
@@ -852,9 +892,10 @@ class BatchedGroupEvaluator:
                     pdf=self._pdf_grid(active, nodes),
                     weights=simpson_weights(m)[None, :] * scale[:, None],
                 )
-            while len(self._grid_cache) >= self._GRID_CACHE_MAX:
-                self._grid_cache.pop(next(iter(self._grid_cache)))
+            self._evict_grid_entries()
             self._grid_cache[key] = cache
+        else:
+            self._grid_hits += 1
         active = cache["active"]
         den = np.zeros(g)
         num1 = np.zeros(g)
@@ -1315,6 +1356,7 @@ class BatchedGroupEvaluator:
         key = (lb.tobytes(), ub.tobytes())
         cache = self._grid_cache.get(key)
         if cache is None:
+            self._grid_misses += 1
             a = np.maximum(lb, state["dom_lo"])
             b = np.minimum(ub, state["dom_hi"])
             active = np.flatnonzero((b > a).all(axis=1))
@@ -1341,17 +1383,10 @@ class BatchedGroupEvaluator:
                     weights=weights,
                     pdf=self._pdf_box_grid(active, points),
                 )
-            total = sum(
-                entry.get("elements", 0)
-                for entry in self._grid_cache.values()
-            )
-            while self._grid_cache and (
-                len(self._grid_cache) >= self._GRID_CACHE_MAX
-                or total + elements > self._ND_GRID_CACHE_ELEMENTS
-            ):
-                evicted = self._grid_cache.pop(next(iter(self._grid_cache)))
-                total -= evicted.get("elements", 0)
+            self._evict_grid_entries(need_room_for=elements)
             self._grid_cache[key] = cache
+        else:
+            self._grid_hits += 1
         active = cache["active"]
         if active.size:
             self._reduce_moments_nd(

@@ -9,10 +9,53 @@ for models that could answer it."
 from __future__ import annotations
 
 import pickle
+import struct
+from collections.abc import Collection
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import CatalogError, ModelNotFoundError
+
+#: Header prefix on every on-disk artefact this package writes.  The
+#: magic distinguishes artefact kinds (whole catalog, store manifest,
+#: store record); the little-endian u16 that follows is the format
+#: version, bumped whenever the payload layout changes so stale blobs
+#: fail loudly at load time instead of deep inside model code.
+CATALOG_MAGIC = b"DBESTCAT"
+CATALOG_FORMAT_VERSION = 1
+_VERSION_STRUCT = struct.Struct("<H")
+
+
+def pack_header(magic: bytes, version: int) -> bytes:
+    """The byte header written in front of a pickled payload."""
+    return magic + _VERSION_STRUCT.pack(version)
+
+
+def split_header(
+    payload: bytes, magic: bytes, expected_version: int, what: str
+) -> bytes:
+    """Validate ``payload``'s header and return the body after it.
+
+    Raises :class:`CatalogError` naming the found/expected version (or
+    the missing magic) so callers see *which* artefact is stale instead
+    of an unpickling traceback from deep inside model code.
+    """
+    header_len = len(magic) + _VERSION_STRUCT.size
+    if len(payload) < header_len or not payload.startswith(magic):
+        raise CatalogError(
+            f"{what} does not start with the {magic.decode('ascii')} "
+            "magic header; it is not a DBEst artefact of this kind "
+            "(or predates the versioned format)"
+        )
+    (version,) = _VERSION_STRUCT.unpack(
+        payload[len(magic) : header_len]
+    )
+    if version != expected_version:
+        raise CatalogError(
+            f"{what} is format version {version}, but this build reads "
+            f"version {expected_version}; rebuild it with the current code"
+        )
+    return payload[header_len:]
 
 
 @dataclass(frozen=True)
@@ -47,6 +90,63 @@ class ModelKey:
         )
 
 
+def resolve_model_key(
+    keys: Collection[ModelKey],
+    table: str,
+    x_columns,
+    y_column: str | None,
+    group_by: str | None = None,
+) -> ModelKey:
+    """Resolve which registered key answers a query.
+
+    ``keys`` is the collection of registered :class:`ModelKey` in
+    registration order (a dict or dict view preserves it).  Shared by
+    :meth:`ModelCatalog.find` and the lazy on-disk
+    :class:`~repro.serve.store.ModelStore`, which must resolve against
+    its manifest *without* loading any model.
+
+    Resolution order:
+
+    1. exact key match;
+    2. for COUNT(*)-style lookups (``y_column`` None), any model over
+       the same predicate columns and group column (COUNT only needs
+       the density estimator) — earliest registered wins;
+    3. a *superset* model: one whose predicate columns contain the
+       query's — unconstrained dimensions integrate over their full
+       domain, so a multivariate model answers lower-dimensional
+       queries exactly as a marginal would.  The tightest superset
+       (fewest extra dimensions) wins; ties break to the earliest
+       registered (the sort is stable over registration order).
+    """
+    key = ModelKey.make(table, x_columns, y_column, group_by)
+    if key in keys:
+        return key
+    if y_column is None:
+        for candidate in keys:
+            if (
+                candidate.table == key.table
+                and candidate.x_columns == key.x_columns
+                and candidate.group_by == key.group_by
+            ):
+                return candidate
+    wanted = set(key.x_columns)
+    supersets = [
+        candidate
+        for candidate in keys
+        if candidate.table == key.table
+        and candidate.group_by == key.group_by
+        and wanted < set(candidate.x_columns)
+        and (y_column is None or candidate.y_column == y_column)
+    ]
+    if supersets:
+        supersets.sort(key=lambda candidate: len(candidate.x_columns))
+        return supersets[0]
+    raise ModelNotFoundError(
+        f"no model for table={table!r} x={key.x_columns} "
+        f"y={y_column!r} group_by={group_by!r}"
+    )
+
+
 class ModelCatalog:
     """Registry mapping :class:`ModelKey` to trained model objects.
 
@@ -58,11 +158,23 @@ class ModelCatalog:
 
     def __init__(self) -> None:
         self._models: dict[ModelKey, object] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Bumped on every register/remove.
+
+        Serving layers compare it between queries to invalidate
+        memoised answers when a model is swapped in place (e.g.
+        ``build_model`` re-registering an existing key).
+        """
+        return self._version
 
     def register(self, key: ModelKey, model: object, replace: bool = False) -> None:
         if key in self._models and not replace:
             raise CatalogError(f"a model is already registered for {key}")
         self._models[key] = model
+        self._version += 1
 
     def get(self, key: ModelKey) -> object:
         try:
@@ -74,6 +186,7 @@ class ModelCatalog:
         if key not in self._models:
             raise CatalogError(f"no model registered for {key}")
         del self._models[key]
+        self._version += 1
 
     def __contains__(self, key: ModelKey) -> bool:
         return key in self._models
@@ -84,6 +197,17 @@ class ModelCatalog:
     def keys(self) -> list[ModelKey]:
         return list(self._models)
 
+    def resolve(
+        self,
+        table: str,
+        x_columns,
+        y_column: str | None,
+        group_by: str | None = None,
+    ) -> ModelKey:
+        """The registered key that answers a query (see
+        :func:`resolve_model_key` for the resolution order)."""
+        return resolve_model_key(self._models, table, x_columns, y_column, group_by)
+
     def find(
         self,
         table: str,
@@ -91,54 +215,22 @@ class ModelCatalog:
         y_column: str | None,
         group_by: str | None = None,
     ) -> object:
-        """Resolve the model answering a query.
-
-        Resolution order:
-
-        1. exact key match;
-        2. for COUNT(*)-style lookups (``y_column`` None), any model over
-           the same predicate columns and group column (COUNT only needs
-           the density estimator);
-        3. a *superset* model: one whose predicate columns contain the
-           query's — unconstrained dimensions integrate over their full
-           domain, so a multivariate model answers lower-dimensional
-           queries exactly as a marginal would.
-        """
-        key = ModelKey.make(table, x_columns, y_column, group_by)
-        if key in self._models:
-            return self._models[key]
-        if y_column is None:
-            for candidate, model in self._models.items():
-                if (
-                    candidate.table == key.table
-                    and candidate.x_columns == key.x_columns
-                    and candidate.group_by == key.group_by
-                ):
-                    return model
-        wanted = set(key.x_columns)
-        supersets = [
-            (candidate, model)
-            for candidate, model in self._models.items()
-            if candidate.table == key.table
-            and candidate.group_by == key.group_by
-            and wanted < set(candidate.x_columns)
-            and (y_column is None or candidate.y_column == y_column)
-        ]
-        if supersets:
-            # Prefer the tightest superset (fewest extra dimensions).
-            supersets.sort(key=lambda pair: len(pair[0].x_columns))
-            return supersets[0][1]
-        raise ModelNotFoundError(
-            f"no model for table={table!r} x={key.x_columns} "
-            f"y={y_column!r} group_by={group_by!r}"
-        )
+        """Resolve the model answering a query (see :meth:`resolve`)."""
+        return self._models[self.resolve(table, x_columns, y_column, group_by)]
 
     # -- persistence -------------------------------------------------------
 
     def save(self, path: str | Path) -> int:
-        """Pickle the whole catalog to disk; returns bytes written."""
+        """Write the catalog to disk; returns bytes written.
+
+        The file starts with the :data:`CATALOG_MAGIC` +
+        format-version header so stale or foreign blobs are rejected
+        with a clear :class:`CatalogError` at load time.
+        """
         path = Path(path)
-        payload = pickle.dumps(self._models, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = pack_header(
+            CATALOG_MAGIC, CATALOG_FORMAT_VERSION
+        ) + pickle.dumps(self._models, protocol=pickle.HIGHEST_PROTOCOL)
         path.write_bytes(payload)
         return len(payload)
 
@@ -149,8 +241,14 @@ class ModelCatalog:
         if not path.exists():
             raise CatalogError(f"catalog file {path} does not exist")
         catalog = cls()
+        body = split_header(
+            path.read_bytes(),
+            CATALOG_MAGIC,
+            CATALOG_FORMAT_VERSION,
+            f"catalog file {path}",
+        )
         try:
-            payload = pickle.loads(path.read_bytes())
+            payload = pickle.loads(body)
         except Exception as exc:
             raise CatalogError(f"catalog file {path} is corrupt: {exc}") from exc
         if not isinstance(payload, dict):

@@ -64,6 +64,13 @@ class DBEstConfig:
         OLS/piecewise-linear regressors from stacked normal equations.
         Nonlinear regressors keep batched density fitting but fit per
         group through chunked ``map_parallel``.
+    serve_cache_bytes:
+        Resident-model byte budget of the lazy on-disk model store
+        (:class:`~repro.serve.store.ModelStore`).  Loaded models are
+        kept in an LRU; once their summed record sizes exceed this
+        budget the least-recently-touched models are dropped back to
+        disk (they reload transparently on next touch).  0 means
+        unbounded.
     random_seed:
         Seed for sampling and model training; None draws fresh entropy.
     """
@@ -83,6 +90,7 @@ class DBEstConfig:
     parallel_mode: str = "process"
     batched_groupby: bool = True
     batched_train: bool = True
+    serve_cache_bytes: int = 256 << 20
     random_seed: int | None = field(default=None)
 
     def __post_init__(self) -> None:
@@ -124,4 +132,9 @@ class DBEstConfig:
         if self.kde_bin_threshold < 1:
             raise InvalidParameterError(
                 f"kde_bin_threshold must be >= 1, got {self.kde_bin_threshold}"
+            )
+        if self.serve_cache_bytes < 0:
+            raise InvalidParameterError(
+                f"serve_cache_bytes must be >= 0 (0 = unbounded), "
+                f"got {self.serve_cache_bytes}"
             )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from functools import lru_cache
 
 import numpy as np
 
@@ -39,6 +40,33 @@ from repro.sql.ast import AggregateCall, Query
 from repro.sql.parser import parse_query
 from repro.sql.validator import validate_query
 from repro.storage.table import Table
+
+
+@lru_cache(maxsize=512)
+def _parse_validated(sql: str) -> Query:
+    """Parse + validate one SQL string, memoised on the exact text.
+
+    Query objects are treated as immutable once parsed (nothing in the
+    engine mutates them), so repeated executions of the same string —
+    the common case for dashboard-style workloads — skip the tokenizer,
+    the recursive-descent parser, and semantic validation entirely.
+    Queries that fail to parse or validate raise on every call
+    (``lru_cache`` does not cache exceptions), preserving error
+    behaviour exactly.
+    """
+    query = parse_query(sql)
+    validate_query(query)
+    return query
+
+
+def parse_cache_info():
+    """Hit/miss statistics of the engine-wide parse cache."""
+    return _parse_validated.cache_info()
+
+
+def parse_cache_clear() -> None:
+    """Drop all memoised parses (mainly for tests)."""
+    _parse_validated.cache_clear()
 
 
 class DBEst:
@@ -265,8 +293,11 @@ class DBEst:
 
     def execute(self, sql: str | Query) -> QueryResult:
         """Answer an analytical query from models (or the fallback engine)."""
-        query = parse_query(sql) if isinstance(sql, str) else sql
-        validate_query(query)
+        if isinstance(sql, str):
+            query = _parse_validated(sql)
+        else:
+            query = sql
+            validate_query(query)
         start = time.perf_counter()
         try:
             values = self._answer_from_models(query)
@@ -292,7 +323,7 @@ class DBEst:
         ranges = merged_ranges(query.ranges)
         values: dict[str, float | dict] = {}
         for aggregate in query.aggregates:
-            values[str(aggregate)] = self._answer_one(
+            values[str(aggregate)] = self.answer_one(
                 table, aggregate, ranges, query
             )
         return values
@@ -304,30 +335,96 @@ class DBEst:
             name = join_table_name(name, join.table)
         return name
 
-    def _answer_one(
+    @staticmethod
+    def _lookup_columns(
+        aggregate: AggregateCall,
+        ranges: dict[str, tuple[float, float]],
+    ) -> tuple[tuple[str, ...], str | None]:
+        """The (x_columns, y_column) catalog lookup an aggregate needs.
+
+        ``x_columns == (None,)`` marks an untargetable COUNT(*) without
+        any range predicate; callers decide whether to raise or bail.
+        """
+        x_columns = tuple(sorted(ranges)) if ranges else (aggregate.column,)
+        # Density-based aggregates only need a model whose x matches.
+        density_based = aggregate.func in ("COUNT", "PERCENTILE") or (
+            aggregate.column in x_columns
+        )
+        y_lookup = None if density_based else aggregate.column
+        return x_columns, y_lookup
+
+    def model_key_for(
+        self,
+        table: str,
+        aggregate: AggregateCall,
+        ranges: dict[str, tuple[float, float]],
+        query: Query,
+    ) -> ModelKey | None:
+        """The registered catalog key :meth:`answer_one` would resolve.
+
+        Returns None when the aggregate never reaches a model:
+        contradictory ranges, untargetable COUNT(*), unsupported
+        predicate shapes, or no registered model (fallback territory).
+        Used by the serving layer to key answer caches and per-model
+        locks on the *resolved* model identity, so two query shapes
+        that resolve to the same superset model share one entry.
+        """
+        if any(high < low for low, high in ranges.values()):
+            return None
+        x_columns, y_lookup = self._lookup_columns(aggregate, ranges)
+        if x_columns == (None,):
+            return None
+        if query.group_by is not None:
+            if query.equalities:
+                return None
+            group = query.group_by
+        elif query.equalities:
+            if len(query.equalities) > 1:
+                return None
+            group = query.equalities[0].column
+        else:
+            group = None
+        try:
+            return self.catalog.resolve(table, x_columns, y_lookup, group)
+        except ModelNotFoundError:
+            return None
+
+    def answer_one(
         self,
         table: str,
         aggregate: AggregateCall,
         ranges: dict[str, tuple[float, float]],
         query: Query,
     ) -> float | dict:
+        """Answer a single aggregate of a parsed query from models.
+
+        ``table`` is the (join-resolved) table name and ``ranges`` the
+        merged range predicates; ``query`` supplies GROUP BY / equality
+        context.  This is the per-aggregate core of :meth:`execute`,
+        exposed so the serving layer can compute each aggregate of a
+        coalesced batch exactly once.
+        """
         if any(high < low for low, high in ranges.values()):
             # Contradictory comparison predicates select nothing.
             if query.group_by is not None:
                 return {}
             return 0.0 if aggregate.func in ("COUNT", "SUM") else float("nan")
-        x_columns = tuple(sorted(ranges)) if ranges else (aggregate.column,)
+        x_columns, y_lookup = self._lookup_columns(aggregate, ranges)
         if x_columns == (None,):
             raise UnsupportedQueryError(
                 "COUNT(*) without a range predicate has no model to target"
             )
-        # Density-based aggregates only need a model whose x matches.
-        density_based = aggregate.func in ("COUNT", "PERCENTILE") or (
-            aggregate.column in x_columns
-        )
-        y_lookup = None if density_based else aggregate.column
 
         if query.group_by is not None:
+            if query.equalities:
+                # Group-by models carry no categorical filter: silently
+                # ignoring the equality would return unfiltered per-group
+                # answers.  Raising routes the query to the fallback
+                # engine, which does apply it.
+                raise UnsupportedQueryError(
+                    "equality predicates cannot be combined with GROUP BY "
+                    "on the model path"
+                )
             model = self.catalog.find(table, x_columns, y_lookup, query.group_by)
             return model.answer(
                 aggregate,

@@ -16,6 +16,7 @@ explicit opt-out (``answer(..., batched=False)``).
 from __future__ import annotations
 
 import pickle
+import threading
 from collections.abc import Callable
 
 import numpy as np
@@ -308,13 +309,21 @@ class GroupByModelSet:
 
         Built on first use and cached; the cache is dropped on pickling
         (see ``__getstate__``) and rebuilt lazily after a load.
+        Thread-safe: the serving layer answers one model set from many
+        threads, and the expensive CSR stacking must happen once.
         """
         # getattr: stay compatible with sets pickled before this attribute.
         if not getattr(self, "_batched_built", False):
-            from repro.core.batched import BatchedGroupEvaluator
+            # setdefault is atomic under the GIL: concurrent first
+            # callers agree on one lock (pickles drop it, see
+            # __getstate__, so it may need re-creating after a load).
+            lock = self.__dict__.setdefault("_eval_build_lock", threading.Lock())
+            with lock:
+                if not getattr(self, "_batched_built", False):
+                    from repro.core.batched import BatchedGroupEvaluator
 
-            self._batched_cache = BatchedGroupEvaluator.build(self)
-            self._batched_built = True
+                    self._batched_cache = BatchedGroupEvaluator.build(self)
+                    self._batched_built = True
         return self._batched_cache
 
     def answer(
@@ -403,6 +412,7 @@ class GroupByModelSet:
         state = self.__dict__.copy()
         state["_batched_cache"] = None
         state["_batched_built"] = False
+        state.pop("_eval_build_lock", None)  # locks do not pickle
         return state
 
     def size_bytes(self) -> int:

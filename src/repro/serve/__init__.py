@@ -1,0 +1,31 @@
+"""Concurrent query-serving subsystem.
+
+Layers a serving loop over the :class:`~repro.core.engine.DBEst`
+engine, exploiting sharing *across* queries the way the batched engine
+exploits sharing across groups:
+
+* :class:`ModelStore` — versioned on-disk model store: per-model
+  records behind a manifest, lazy loading on first touch, LRU eviction
+  under a byte budget (``DBEstConfig.serve_cache_bytes``).
+* :class:`PlanCache` — normalised-template plan cache: parse each query
+  shape once, bind literals on later sightings.
+* :class:`AnswerCache` — bounded memoisation of
+  ``(resolved ModelKey, aggregate, bounds)`` answers.
+* :class:`QueryServer` — thread-safe worker pool that coalesces queued
+  lookalike queries into shared engine passes and resolves per-caller
+  futures.
+"""
+
+from repro.serve.answer_cache import AnswerCache, answer_key
+from repro.serve.plan_cache import PlanCache
+from repro.serve.server import QueryServer
+from repro.serve.store import ModelStore, StoreRecord
+
+__all__ = [
+    "AnswerCache",
+    "ModelStore",
+    "PlanCache",
+    "QueryServer",
+    "StoreRecord",
+    "answer_key",
+]

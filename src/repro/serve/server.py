@@ -1,0 +1,391 @@
+"""Thread-safe query server with micro-batched, coalesced execution.
+
+``DBEst.execute`` serves one blocking query at a time.  Under real
+traffic — many dashboard users firing near-identical queries — that
+wastes the engine's own sharing machinery: every query re-parses its
+SQL, re-resolves its model, and re-runs a full batched pass even when
+an identical query sits right behind it in line.  :class:`QueryServer`
+layers the missing serving loop on top of an engine:
+
+* **Plan cache** — queries parse through a normalised-template cache
+  (:class:`~repro.serve.plan_cache.PlanCache`), so repeated shapes skip
+  the recursive-descent parser.
+* **Coalescing** — queued requests that hit the same model set with the
+  identical bounds template (same resolved table, merged ranges,
+  equality predicates, and GROUP BY) are drained *together* by one
+  worker: each distinct aggregate across the batch is computed exactly
+  once and fanned out to every caller's future.  Distinct aggregates of
+  one batch run back-to-back on the same evaluator, sharing its
+  memoised pdf grid (one exp pass serves SUM, AVG and VARIANCE).
+* **Answer cache** — computed answers memoise by
+  ``(resolved ModelKey, aggregate, bounds)``
+  (:class:`~repro.serve.answer_cache.AnswerCache`); an identical query
+  arriving after its twin completed never reaches the engine at all.
+* **Worker pool** — ``n_workers`` threads drain the queue; per-resolved-
+  model locks serialise evaluation on any single model set (its lazily
+  built evaluator and grid cache are not safe under concurrent
+  mutation) while different model sets evaluate genuinely in parallel.
+
+Usage::
+
+    server = QueryServer(engine, n_workers=4)
+    futures = [server.submit(sql) for sql in workload]
+    answers = [future.result() for future in futures]
+    server.close()          # or: with QueryServer(engine) as server: ...
+
+``submit`` raises parse/validation errors synchronously (the caller's
+thread parses via the plan cache); execution-time errors surface from
+``Future.result()`` exactly as ``DBEst.execute`` would raise them.
+Queries no model can answer fall back to ``engine.execute`` — and from
+there to the engine's configured fallback engine — uncoalesced.
+
+Answer parity: a served answer is the same ``answer_one`` evaluation a
+sequential ``engine.execute`` performs (coalescing only dedupes and
+reorders calls), so results agree to the last bit modulo the engine's
+own documented batched/scalar tolerance.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Sequence
+from concurrent.futures import Future
+
+from repro.core.catalog import ModelKey
+from repro.core.engine import DBEst
+from repro.core.result import QueryResult
+from repro.errors import QueryExecutionError, ReproError
+from repro.serve.answer_cache import AnswerCache, answer_key
+from repro.serve.plan_cache import PlanCache
+from repro.serve.store import ModelStore
+from repro.sql.ast import AggregateCall, Query, merged_ranges
+from repro.sql.validator import validate_query
+
+
+class _Request:
+    """One submitted query waiting on its future."""
+
+    __slots__ = ("sql", "query", "table", "ranges", "future")
+
+    def __init__(
+        self,
+        sql: str,
+        query: Query,
+        table: str,
+        ranges: dict[str, tuple[float, float]],
+        future: Future,
+    ) -> None:
+        self.sql = sql
+        self.query = query
+        self.table = table
+        self.ranges = ranges
+        self.future = future
+
+
+class QueryServer:
+    """Serve queries from a :class:`~repro.core.engine.DBEst` engine."""
+
+    def __init__(
+        self,
+        engine: DBEst,
+        n_workers: int = 4,
+        plan_cache_size: int = 256,
+        answer_cache_size: int = 4096,
+        coalesce: bool = True,
+    ) -> None:
+        if n_workers < 1:
+            raise QueryExecutionError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        self.engine = engine
+        self.coalesce = coalesce
+        self.plan_cache = PlanCache(max_plans=plan_cache_size)
+        self.answer_cache = AnswerCache(max_entries=answer_cache_size)
+        self._cond = threading.Condition()
+        self._pending: OrderedDict[tuple, list[_Request]] = OrderedDict()
+        self._closed = False
+        self._unique = itertools.count()
+        # Per-resolved-model locks: one model set's lazily built
+        # evaluator and pdf-grid cache must not be mutated from two
+        # threads; distinct model sets evaluate in parallel.
+        self._model_locks: dict[ModelKey, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+        self._fallback_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._catalog_version = getattr(engine.catalog, "version", 0)
+        self._queries = 0
+        self._batches = 0
+        self._coalesced = 0
+        self._engine_calls = 0
+        self._fallbacks = 0
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(n_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, sql: str | Query) -> Future:
+        """Queue one query; returns a future resolving to a
+        :class:`~repro.core.result.QueryResult`.
+
+        Parse and validation errors raise here, synchronously.
+        """
+        if isinstance(sql, str):
+            query = self.plan_cache.parse(sql)
+            text = sql
+        else:
+            query = sql
+            validate_query(query)
+            text = query.to_sql()
+        table = DBEst._resolve_table_name(query)
+        ranges = merged_ranges(query.ranges)
+        if self.coalesce:
+            key = (
+                table,
+                query.group_by,
+                tuple(sorted(ranges.items())),
+                tuple((eq.column, eq.value) for eq in query.equalities),
+            )
+        else:
+            key = (next(self._unique),)
+        future: Future = Future()
+        request = _Request(text, query, table, ranges, future)
+        with self._cond:
+            if self._closed:
+                raise QueryExecutionError("query server is closed")
+            self._pending.setdefault(key, []).append(request)
+            self._cond.notify()
+        with self._stats_lock:
+            self._queries += 1
+        return future
+
+    def execute(self, sql: str | Query) -> QueryResult:
+        """Submit and block for the answer (sequential convenience)."""
+        return self.submit(sql).result()
+
+    def run(self, sqls: Sequence[str | Query]) -> list[QueryResult]:
+        """Submit a whole workload up front, then gather in order.
+
+        Queueing everything before waiting is what lets concurrent
+        lookalike queries coalesce into shared engine passes.
+        """
+        futures = [self.submit(sql) for sql in sqls]
+        return [future.result() for future in futures]
+
+    # -- worker side --------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending:  # closed and drained
+                    return
+                _key, requests = self._pending.popitem(last=False)
+            try:
+                self._serve_batch(requests)
+            except BaseException as exc:  # keep the worker alive
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+
+    def _serve_batch(self, requests: list[_Request]) -> None:
+        """Answer one coalition batch: every distinct aggregate once."""
+        start = time.perf_counter()
+        # A catalog mutation (build_model re-registering a key) makes
+        # memoised answers stale; the catalog version detects it.
+        current_version = getattr(self.engine.catalog, "version", 0)
+        if current_version != self._catalog_version:
+            with self._stats_lock:
+                if current_version != self._catalog_version:
+                    self.answer_cache.clear()
+                    self._catalog_version = current_version
+        first = requests[0]
+        equalities = tuple(
+            (eq.column, eq.value) for eq in first.query.equalities
+        )
+        unique: dict[str, AggregateCall] = {}
+        for request in requests:
+            for aggregate in request.query.aggregates:
+                unique.setdefault(str(aggregate), aggregate)
+        outcomes: dict[str, tuple[bool, object, bool]] = {}
+        for label, aggregate in unique.items():
+            try:
+                value, cached = self._answer_aggregate(
+                    first.table, aggregate, first.ranges, first.query, equalities
+                )
+                outcomes[label] = (True, value, cached)
+            except Exception as exc:
+                # Any failure — ReproError or not (e.g. KeyError for an
+                # unseen group value) — must reach the caller's future,
+                # never kill the worker thread.
+                outcomes[label] = (False, exc, False)
+        elapsed = time.perf_counter() - start
+        with self._stats_lock:
+            self._batches += 1
+            self._coalesced += len(requests) - 1
+        for request in requests:
+            try:
+                self._resolve_request(request, outcomes, elapsed)
+            except BaseException as exc:  # never strand a caller
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
+    def _resolve_request(
+        self,
+        request: _Request,
+        outcomes: dict[str, tuple[bool, object, bool]],
+        elapsed: float,
+    ) -> None:
+        labels = [str(aggregate) for aggregate in request.query.aggregates]
+        failed = [label for label in labels if not outcomes[label][0]]
+        if failed:
+            # Some aggregate could not be answered from models: route the
+            # whole request through engine.execute, which applies the
+            # fallback engine or raises exactly as sequential execution.
+            with self._stats_lock:
+                self._fallbacks += 1
+            try:
+                with self._fallback_locks(request):
+                    result = self.engine.execute(request.query)
+                result.sql = request.sql
+                request.future.set_result(result)
+            except Exception as exc:
+                request.future.set_exception(exc)
+            return
+        # Coalesced batch-mates must not share mutable group-by dicts:
+        # one caller mutating its QueryResult would corrupt the others'.
+        values = {
+            label: (
+                dict(outcomes[label][1])
+                if isinstance(outcomes[label][1], dict)
+                else outcomes[label][1]
+            )
+            for label in labels
+        }
+        all_cached = all(outcomes[label][2] for label in labels)
+        request.future.set_result(
+            QueryResult(
+                values=values,
+                source="cache" if all_cached else "model",
+                elapsed_seconds=elapsed,
+                sql=request.sql,
+            )
+        )
+
+    def _answer_aggregate(
+        self,
+        table: str,
+        aggregate: AggregateCall,
+        ranges: dict[str, tuple[float, float]],
+        query: Query,
+        equalities: tuple,
+    ) -> tuple[object, bool]:
+        """One aggregate's answer and whether it came from the cache."""
+        model_key = self.engine.model_key_for(table, aggregate, ranges, query)
+        if model_key is None:
+            # Degenerate (contradictory ranges) or unanswerable from the
+            # catalog: no stable model identity to cache or lock on.
+            with self._fallback_lock:
+                return (
+                    self.engine.answer_one(table, aggregate, ranges, query),
+                    False,
+                )
+        key = answer_key(model_key, aggregate, ranges, equalities)
+        # Entries are tagged with the catalog version observed *before*
+        # computing: if a model is swapped mid-computation, the tag is
+        # already stale and the entry is never served (callers each
+        # copy dicts per consumer, so copy=False skips a double copy).
+        version = getattr(self.engine.catalog, "version", 0)
+        value = self.answer_cache.get(key, version=version, copy=False)
+        if not AnswerCache.missing(value):
+            return value, True
+        with self._model_lock(model_key):
+            # A worker serving a lookalike batch may have filled the
+            # entry while this one waited for the model lock.
+            value = self.answer_cache.get(
+                key, version=version, record=False, copy=False
+            )
+            if not AnswerCache.missing(value):
+                return value, True
+            value = self.engine.answer_one(table, aggregate, ranges, query)
+            self.answer_cache.put(key, value, version=version)
+        with self._stats_lock:
+            self._engine_calls += 1
+        return value, False
+
+    def _fallback_locks(self, request: _Request) -> contextlib.ExitStack:
+        """The fallback lock plus every model lock the request may touch.
+
+        ``engine.execute`` on a partially-answerable request still
+        evaluates its model-resolvable aggregates before failing over,
+        so those models need the same serialisation the coalesced path
+        gives them.  Locks acquire in a deterministic order (fallback
+        first, then keys sorted) so two fallback requests cannot
+        deadlock; compute workers only ever hold a single model lock.
+        """
+        keys = set()
+        for aggregate in request.query.aggregates:
+            model_key = self.engine.model_key_for(
+                request.table, aggregate, request.ranges, request.query
+            )
+            if model_key is not None:
+                keys.add(model_key)
+        stack = contextlib.ExitStack()
+        stack.enter_context(self._fallback_lock)
+        for model_key in sorted(keys, key=repr):
+            stack.enter_context(self._model_lock(model_key))
+        return stack
+
+    def _model_lock(self, model_key: ModelKey) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._model_locks.get(model_key)
+            if lock is None:
+                lock = self._model_locks[model_key] = threading.Lock()
+            return lock
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain queued work, stop the workers, and join them.
+
+        Safe to call twice; submissions after close raise.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Serving counters plus per-layer cache statistics."""
+        with self._stats_lock:
+            stats = {
+                "queries": self._queries,
+                "batches": self._batches,
+                "coalesced": self._coalesced,
+                "engine_calls": self._engine_calls,
+                "fallbacks": self._fallbacks,
+            }
+        stats["plan_cache"] = self.plan_cache.stats()
+        stats["answer_cache"] = self.answer_cache.stats()
+        if isinstance(self.engine.catalog, ModelStore):
+            stats["store"] = self.engine.catalog.stats()
+        return stats

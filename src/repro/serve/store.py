@@ -1,0 +1,353 @@
+"""Versioned on-disk model store with lazy loading and LRU eviction.
+
+`ModelCatalog.save` pickles the whole model dict into one blob: loading
+a warehouse of thousands of models means deserialising all of them up
+front and keeping them resident forever.  :class:`ModelStore` replaces
+the blob with a *directory* of per-model records:
+
+* ``MANIFEST`` — magic + format-version header, then a pickled mapping
+  of :class:`~repro.core.catalog.ModelKey` to record metadata (filename,
+  payload bytes, model type name).  Opening a store reads only this.
+* ``records/NNNNNN.model`` — one file per model, each with its own
+  magic + format-version header followed by the pickled model.
+
+Models load on first touch and live in an LRU keyed by their on-disk
+record size; once the summed resident bytes exceed the configured
+budget (``DBEstConfig.serve_cache_bytes``), the least-recently-touched
+models are dropped back to disk.  An evicted model reloads
+transparently on its next touch and — being a pure function of its
+pickled parameters — answers bit-identically to its first life.
+
+The read API mirrors :class:`~repro.core.catalog.ModelCatalog`
+(``get`` / ``find`` / ``resolve`` / ``keys`` / ``__contains__`` /
+``summary``), so a :class:`~repro.core.engine.DBEst` engine can serve
+straight from a store::
+
+    ModelStore.write(engine.catalog, "warehouse.store")
+    serving = DBEst()
+    serving.catalog = ModelStore("warehouse.store", cache_bytes=64 << 20)
+    serving.execute("SELECT AVG(y) FROM t WHERE x BETWEEN 1 AND 2;")
+
+All methods are thread-safe; the query server touches one store from
+many workers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.catalog import (
+    ModelCatalog,
+    ModelKey,
+    pack_header,
+    resolve_model_key,
+    split_header,
+)
+from repro.core.config import DBEstConfig
+from repro.errors import CatalogError, ModelNotFoundError
+
+MANIFEST_MAGIC = b"DBESTMAN"
+RECORD_MAGIC = b"DBESTREC"
+STORE_FORMAT_VERSION = 1
+
+_MANIFEST_NAME = "MANIFEST"
+_RECORDS_DIR = "records"
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """Manifest entry for one stored model."""
+
+    filename: str
+    nbytes: int
+    model_type: str
+
+
+class ModelStore:
+    """Lazy, bounded-memory view over a directory of model records."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        cache_bytes: int | None = None,
+        config: DBEstConfig | None = None,
+    ) -> None:
+        """Open an existing store; loads the manifest, no models.
+
+        ``cache_bytes`` bounds the summed record sizes of resident
+        models (0 = unbounded); when None it comes from
+        ``config.serve_cache_bytes`` (or the default config's).
+        """
+        self.path = Path(path)
+        if cache_bytes is None:
+            cache_bytes = (config or DBEstConfig()).serve_cache_bytes
+        if cache_bytes < 0:
+            raise CatalogError(
+                f"cache_bytes must be >= 0 (0 = unbounded), got {cache_bytes}"
+            )
+        self.cache_bytes = int(cache_bytes)
+        self._lock = threading.Lock()
+        self._records: dict[ModelKey, StoreRecord] = self._read_manifest()
+        # Resident models in least-recently-touched-first order.
+        self._resident: OrderedDict[ModelKey, object] = OrderedDict()
+        self._resident_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._loads = 0
+        self._evictions = 0
+
+    # -- writing -----------------------------------------------------------
+
+    @classmethod
+    def write(
+        cls,
+        models: ModelCatalog | dict[ModelKey, object],
+        path: str | Path,
+        cache_bytes: int | None = None,
+        config: DBEstConfig | None = None,
+    ) -> "ModelStore":
+        """Serialise a catalog (or key->model mapping) as a store.
+
+        Overwrites any store already at ``path`` and returns an open
+        handle with nothing resident.  Rewrites are crash-safe: each
+        write is a fresh record *generation* (uniquely-named files) and
+        the manifest is replaced atomically as the final step, so a
+        crash mid-write leaves the previous manifest pointing at its
+        own untouched records.  The previous generation's files are
+        pruned after the swap — a handle opened on the *old* manifest
+        in another process loses its records, so swap live-served
+        warehouses by writing a fresh directory instead.
+        """
+        if isinstance(models, ModelCatalog):
+            items = [(key, models.get(key)) for key in models.keys()]
+        else:
+            items = list(models.items())
+        path = Path(path)
+        records_dir = path / _RECORDS_DIR
+        records_dir.mkdir(parents=True, exist_ok=True)
+        header = pack_header(RECORD_MAGIC, STORE_FORMAT_VERSION)
+        generation = uuid.uuid4().hex[:8]
+        manifest: dict[ModelKey, StoreRecord] = {}
+        for index, (key, model) in enumerate(items):
+            if not isinstance(key, ModelKey):
+                raise CatalogError(
+                    f"store keys must be ModelKey, got {type(key).__name__}"
+                )
+            payload = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+            filename = f"{generation}-{index:06d}.model"
+            (records_dir / filename).write_bytes(header + payload)
+            manifest[key] = StoreRecord(
+                filename=filename,
+                nbytes=len(payload),
+                model_type=type(model).__name__,
+            )
+        manifest_payload = pack_header(
+            MANIFEST_MAGIC, STORE_FORMAT_VERSION
+        ) + pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL)
+        manifest_tmp = path / (_MANIFEST_NAME + ".tmp")
+        manifest_tmp.write_bytes(manifest_payload)
+        os.replace(manifest_tmp, path / _MANIFEST_NAME)
+        # Prune records of previous, now-unreferenced generations.
+        keep = {record.filename for record in manifest.values()}
+        for stale in records_dir.glob("*.model"):
+            if stale.name not in keep:
+                stale.unlink()
+        return cls(path, cache_bytes=cache_bytes, config=config)
+
+    def _read_manifest(self) -> dict[ModelKey, StoreRecord]:
+        manifest_path = self.path / _MANIFEST_NAME
+        if not manifest_path.exists():
+            raise CatalogError(
+                f"{self.path} is not a model store (no {_MANIFEST_NAME} file)"
+            )
+        body = split_header(
+            manifest_path.read_bytes(),
+            MANIFEST_MAGIC,
+            STORE_FORMAT_VERSION,
+            f"store manifest {manifest_path}",
+        )
+        try:
+            manifest = pickle.loads(body)
+        except Exception as exc:
+            raise CatalogError(
+                f"store manifest {manifest_path} is corrupt: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise CatalogError(
+                f"store manifest {manifest_path} holds a "
+                f"{type(manifest).__name__}, expected a record mapping"
+            )
+        return manifest
+
+    # -- catalog-compatible read API ---------------------------------------
+
+    def get(self, key: ModelKey) -> object:
+        """The model for ``key``, loading its record on first touch.
+
+        The disk read + unpickle happens *outside* the store lock, so a
+        miss on one model never blocks hits (or other misses) on the
+        rest of the warehouse.  Two threads missing on the same key
+        both load; the first to re-acquire the lock wins and the
+        duplicate is discarded.
+        """
+        with self._lock:
+            if key in self._resident:
+                self._resident.move_to_end(key)
+                self._hits += 1
+                return self._resident[key]
+            try:
+                record = self._records[key]
+            except KeyError:
+                raise ModelNotFoundError(
+                    f"no model registered for {key}"
+                ) from None
+            self._misses += 1
+        model = self._load_record(key, record)
+        with self._lock:
+            self._loads += 1
+            if key in self._resident:  # racing loader beat us to it
+                self._resident.move_to_end(key)
+                return self._resident[key]
+            self._resident[key] = model
+            self._resident_bytes += record.nbytes
+            self._evict_over_budget(protect=key)
+            return model
+
+    def _load_record(self, key: ModelKey, record: StoreRecord) -> object:
+        record_path = self.path / _RECORDS_DIR / record.filename
+        if not record_path.exists():
+            raise CatalogError(
+                f"store record {record_path} for {key} is missing"
+            )
+        body = split_header(
+            record_path.read_bytes(),
+            RECORD_MAGIC,
+            STORE_FORMAT_VERSION,
+            f"store record {record_path}",
+        )
+        try:
+            model = pickle.loads(body)
+        except Exception as exc:
+            raise CatalogError(
+                f"store record {record_path} for {key} is corrupt: {exc}"
+            ) from exc
+        return model
+
+    def _evict_over_budget(self, protect: ModelKey) -> None:
+        """Drop least-recently-touched models until under budget.
+
+        The just-touched key is never evicted, even when a single model
+        exceeds the whole budget — the caller holds a reference anyway,
+        so evicting it would save nothing.
+        """
+        if self.cache_bytes <= 0:
+            return
+        while self._resident_bytes > self.cache_bytes and len(self._resident) > 1:
+            oldest = next(iter(self._resident))
+            if oldest == protect:
+                break
+            self._resident.pop(oldest)
+            self._resident_bytes -= self._records[oldest].nbytes
+            self._evictions += 1
+
+    def resolve(
+        self,
+        table: str,
+        x_columns,
+        y_column: str | None,
+        group_by: str | None = None,
+    ) -> ModelKey:
+        """The stored key answering a query — resolved against the
+        manifest alone, without loading any model."""
+        return resolve_model_key(self._records, table, x_columns, y_column, group_by)
+
+    def find(
+        self,
+        table: str,
+        x_columns,
+        y_column: str | None,
+        group_by: str | None = None,
+    ) -> object:
+        """Resolve and (lazily) load the model answering a query."""
+        return self.get(self.resolve(table, x_columns, y_column, group_by))
+
+    @property
+    def version(self) -> int:
+        """Always 0: one open store handle is an immutable generation
+        (its manifest is read once), so memoised answers never go stale."""
+        return 0
+
+    def keys(self) -> list[ModelKey]:
+        return list(self._records)
+
+    def __contains__(self, key: ModelKey) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def summary(self) -> list[dict]:
+        """One description dict per stored model (manifest only)."""
+        rows = []
+        with self._lock:
+            for key, record in self._records.items():
+                rows.append(
+                    {
+                        "table": key.table,
+                        "x_columns": key.x_columns,
+                        "y_column": key.y_column,
+                        "group_by": key.group_by,
+                        "type": record.model_type,
+                        "record_bytes": record.nbytes,
+                        "resident": key in self._resident,
+                    }
+                )
+        return rows
+
+    def total_size_bytes(self) -> int:
+        """Summed on-disk record payload sizes (space-overhead metric)."""
+        return sum(record.nbytes for record in self._records.values())
+
+    # -- residency management ----------------------------------------------
+
+    def loaded_keys(self) -> list[ModelKey]:
+        """Keys currently resident, least-recently-touched first."""
+        with self._lock:
+            return list(self._resident)
+
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._resident_bytes
+
+    def evict_all(self) -> None:
+        """Drop every resident model; the next touch reloads from disk."""
+        with self._lock:
+            self._evictions += len(self._resident)
+            self._resident.clear()
+            self._resident_bytes = 0
+
+    def stats(self) -> dict:
+        """Hit/miss/load/eviction counters and residency occupancy."""
+        with self._lock:
+            return {
+                "models": len(self._records),
+                "resident": len(self._resident),
+                "resident_bytes": self._resident_bytes,
+                "budget_bytes": self.cache_bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "loads": self._loads,
+                "evictions": self._evictions,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelStore(path={str(self.path)!r}, models={len(self._records)}, "
+            f"resident={len(self._resident)}, budget={self.cache_bytes})"
+        )

@@ -18,7 +18,12 @@ from repro.sql.ast import (
     Query,
     RangePredicate,
 )
-from repro.sql.parser import parse_query
+from repro.sql.parser import (
+    bind_template,
+    parse_query,
+    parse_template,
+    split_literals,
+)
 from repro.sql.validator import validate_query
 
 __all__ = [
@@ -27,6 +32,9 @@ __all__ = [
     "JoinClause",
     "Query",
     "RangePredicate",
+    "bind_template",
     "parse_query",
+    "parse_template",
+    "split_literals",
     "validate_query",
 ]

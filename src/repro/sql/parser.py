@@ -221,3 +221,116 @@ def parse_query(sql: str) -> Query:
     if not tokens:
         raise SQLSyntaxError("empty query")
     return _Parser(tokens).parse()
+
+
+# -- template normalisation (plan-cache hook) ------------------------------
+#
+# The serving layer's plan cache keys queries by *shape*: the token
+# stream with every numeric literal abstracted to a placeholder.  Two
+# dashboard queries that differ only in their BETWEEN bounds share one
+# parse.  ``split_literals`` produces the shape key plus the stripped
+# literals; ``parse_template`` parses the placeholder tokens into a
+# *skeleton* Query whose numeric fields hold literal slot indices
+# (0.0, 1.0, ...); ``bind_template`` substitutes a concrete literal
+# tuple back in, yielding a Query identical to ``parse_query`` on the
+# original text.
+
+
+def split_literals(sql: str) -> tuple[str, tuple[float, ...], list[Token]]:
+    """Abstract numeric literals out of a query's token stream.
+
+    Returns ``(template_key, literals, slotted_tokens)``:
+    ``template_key`` uniquely identifies the query shape (token kinds
+    and values, with every NUMBER replaced by ``?``), ``literals`` are
+    the stripped numbers in token order, and ``slotted_tokens`` is the
+    token list with each NUMBER's value replaced by its slot index —
+    ready for :func:`parse_template`.
+    """
+    tokens = tokenize(sql)
+    if not tokens:
+        raise SQLSyntaxError("empty query")
+    literals: list[float] = []
+    slotted: list[Token] = []
+    parts: list[str] = []
+    for token in tokens:
+        if token.kind == "NUMBER":
+            slotted.append(
+                Token("NUMBER", repr(float(len(literals))), token.position)
+            )
+            parts.append("NUMBER\x00?")
+            literals.append(float(token.value))
+        else:
+            slotted.append(token)
+            parts.append(f"{token.kind}\x00{token.value}")
+    return "\x01".join(parts), tuple(literals), slotted
+
+
+def parse_template(slotted_tokens: list[Token]) -> Query:
+    """Parse slot-substituted tokens into a skeleton :class:`Query`.
+
+    Every numeric field of the skeleton holds the (float) index of the
+    literal it stands for; the only other numeric values the grammar can
+    produce are the ±inf bounds of one-sided comparisons, which are
+    preserved as-is.  Value-dependent checks the real parser performs
+    (reversed BETWEEN bounds) are deferred to :func:`bind_template`,
+    since slot indices are always in token order.
+    """
+    return _Parser(list(slotted_tokens)).parse()
+
+
+def bind_template(skeleton: Query, literals: tuple[float, ...]) -> Query:
+    """Substitute concrete literals into a skeleton parsed by
+    :func:`parse_template`, returning a fresh independent Query.
+
+    Raises the same :class:`SQLSyntaxError` the direct parse raises for
+    reversed BETWEEN bounds (the one value-dependent grammar check).
+    """
+    import math
+
+    def value_of(slot: float) -> float:
+        # Finite numbers in a skeleton are always slot indices; the
+        # only parser-introduced constants are the ±inf half-open
+        # comparison bounds.
+        if math.isinf(slot):
+            return slot
+        return literals[int(slot)]
+
+    aggregates = [
+        AggregateCall(
+            func=agg.func,
+            column=agg.column,
+            parameter=(
+                None if agg.parameter is None else value_of(agg.parameter)
+            ),
+        )
+        for agg in skeleton.aggregates
+    ]
+    ranges = []
+    for predicate in skeleton.ranges:
+        low = value_of(predicate.low)
+        high = value_of(predicate.high)
+        both_finite = not (math.isinf(predicate.low) or math.isinf(predicate.high))
+        if both_finite and high < low:
+            # Only BETWEEN yields two literal bounds in one predicate;
+            # mirror the parser's check the skeleton could not make.
+            raise SQLSyntaxError(
+                f"BETWEEN bounds reversed for {predicate.column!r}: "
+                f"{low} > {high}"
+            )
+        ranges.append(RangePredicate(column=predicate.column, low=low, high=high))
+    equalities = []
+    for predicate in skeleton.equalities:
+        value = predicate.value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            literal = literals[int(value)]
+            value = int(literal) if float(literal).is_integer() else literal
+        equalities.append(EqualityPredicate(column=predicate.column, value=value))
+    return Query(
+        aggregates=aggregates,
+        table=skeleton.table,
+        joins=list(skeleton.joins),
+        ranges=ranges,
+        equalities=equalities,
+        group_by=skeleton.group_by,
+        select_columns=list(skeleton.select_columns),
+    )

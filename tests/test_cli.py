@@ -131,4 +131,72 @@ class TestBenchSmoke:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "TRAIN" in out
+        assert "SERVE" in out
         assert "ok: batched training and evaluation match the scalar oracles" in out
+
+
+class TestServe:
+    @pytest.fixture
+    def catalog(self, ccpp_csv, tmp_path):
+        path = tmp_path / "models.pkl"
+        assert main([
+            "build", "--csv", str(ccpp_csv), "--x", "T", "--y", "EP",
+            "--sample-size", "4000", "--regressor", "plr",
+            "--seed", "3", "--catalog", str(path),
+        ]) == 0
+        return path
+
+    def test_pack_store_and_serve(self, catalog, tmp_path, capsys):
+        store = tmp_path / "models.store"
+        assert main([
+            "pack-store", "--catalog", str(catalog), "--store", str(store),
+        ]) == 0
+        queries = tmp_path / "q.sql"
+        queries.write_text(
+            "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 20;\n"
+            "-- a comment line\n"
+            "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 20;\n"
+        )
+        assert main([
+            "serve", "--store", str(store), "--queries", str(queries),
+            "--workers", "2",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("AVG(EP)\t") == 2
+        assert "served 2 queries" in captured.err
+        assert "store:" in captured.err
+
+    def test_cache_bytes_rejected_with_catalog(self, catalog, tmp_path, capsys):
+        queries = tmp_path / "q.sql"
+        queries.write_text("SELECT AVG(EP) FROM ccpp WHERE T <= 20;\n")
+        assert main([
+            "serve", "--catalog", str(catalog), "--queries", str(queries),
+            "--cache-bytes", "1000",
+        ]) == 2
+        assert "--cache-bytes only applies to --store" in capsys.readouterr().err
+
+    def test_serve_continues_past_bad_lines(self, catalog, tmp_path, capsys):
+        queries = tmp_path / "q.sql"
+        queries.write_text(
+            "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 20;\n"
+            "SELECT BOGUS FROM nowhere;\n"
+            "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 12 AND 22;\n"
+        )
+        assert main([
+            "serve", "--catalog", str(catalog), "--queries", str(queries),
+            "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("AVG(EP)\t") == 2  # both valid queries answered
+        assert "error:" in out               # the bad line is reported
+
+
+class TestBenchServe:
+    def test_parity_and_report(self, capsys):
+        assert main([
+            "bench-serve", "--groups", "10", "--rows", "40",
+            "--queries", "40", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "query server" in out
+        assert "ok: coalesced/cached serving matches sequential execute" in out

@@ -177,6 +177,41 @@ class TestCatalog:
         with pytest.raises(CatalogError):
             catalog.remove(key)
 
+    def test_find_superset_prefers_tightest(self):
+        catalog = ModelCatalog()
+        wider = object()
+        wide = object()
+        # Registered widest-first: size, not registration order, decides.
+        catalog.register(ModelKey.make("t", ("x", "z", "w"), "y"), wider)
+        catalog.register(ModelKey.make("t", ("x", "z"), "y"), wide)
+        assert catalog.find("t", ("x",), "y") is wide
+        assert catalog.find("t", ("z",), "y") is wide
+        assert catalog.find("t", ("w",), "y") is wider
+        assert catalog.resolve("t", ("x",), "y") == ModelKey.make(
+            "t", ("x", "z"), "y"
+        )
+
+    def test_find_superset_ambiguity_breaks_to_registration_order(self):
+        catalog = ModelCatalog()
+        first = object()
+        second = object()
+        catalog.register(ModelKey.make("t", ("a", "x"), "y"), first)
+        catalog.register(ModelKey.make("b", ("b", "x"), "y"), second)
+        catalog.register(ModelKey.make("t", ("b", "x"), "y"), second)
+        # Two equally tight candidates: the earliest registered wins,
+        # deterministically.
+        assert catalog.find("t", ("x",), "y") is first
+
+    def test_find_superset_filters_y_and_group(self, model_set):
+        catalog = ModelCatalog()
+        catalog.register(ModelKey.make("t", ("x", "z"), "other"), object())
+        with pytest.raises(ModelNotFoundError):
+            catalog.find("t", ("x",), "y")
+        catalog.register(ModelKey.make("t", ("x", "z"), "y", "g"), model_set)
+        assert catalog.find("t", ("x",), "y", "g") is model_set
+        with pytest.raises(ModelNotFoundError):
+            catalog.find("t", ("x",), "y")  # scalar lookup ignores grouped
+
     def test_save_load_roundtrip(self, model_set, tmp_path):
         catalog = ModelCatalog()
         key = ModelKey.make("t", "x", "y", "g")
@@ -193,6 +228,36 @@ class TestCatalog:
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(CatalogError):
             ModelCatalog.load(tmp_path / "nope.pkl")
+
+    def test_load_rejects_headerless_blob(self, tmp_path):
+        import pickle
+
+        # A pre-versioning catalog: a bare pickled dict used to load
+        # silently; now the missing magic is called out.
+        path = tmp_path / "legacy.pkl"
+        path.write_bytes(pickle.dumps({}))
+        with pytest.raises(CatalogError, match="magic header"):
+            ModelCatalog.load(path)
+
+    def test_load_names_found_and_expected_version(self, model_set, tmp_path):
+        from repro.core.catalog import (
+            CATALOG_FORMAT_VERSION,
+            CATALOG_MAGIC,
+            pack_header,
+        )
+
+        catalog = ModelCatalog()
+        catalog.register(ModelKey.make("t", "x", "y", "g"), model_set)
+        path = tmp_path / "cat.pkl"
+        catalog.save(path)
+        header = pack_header(CATALOG_MAGIC, CATALOG_FORMAT_VERSION)
+        body = path.read_bytes()[len(header):]
+        path.write_bytes(pack_header(CATALOG_MAGIC, 7) + body)
+        with pytest.raises(
+            CatalogError,
+            match=rf"version 7.*version {CATALOG_FORMAT_VERSION}",
+        ):
+            ModelCatalog.load(path)
 
     def test_summary(self, model_set):
         catalog = ModelCatalog()
