@@ -16,6 +16,15 @@ over sequential with every answer within 1e-9 relative) and recorded to
 ``BENCH_serving.json`` at the repo root so the performance trajectory
 is tracked across PRs.
 
+A second *chaos* leg re-serves a 500-query workload from an on-disk
+model store under injected faults — 10% of record loads suffer a
+latency spike, 1% return corrupted bytes, and one worker thread is
+killed mid-run — with bounded admission (drop-oldest).  Every future
+must resolve (answered, degraded, or shed — never hung), non-degraded
+answers must match the fault-free oracle exactly, and degraded answers
+must stay within a loose AQP tolerance of it; shed/degraded rates are
+recorded alongside the throughput numbers.
+
 Run directly (``python benchmarks/bench_serving.py``) or through pytest
 (``pytest benchmarks/bench_serving.py``; marked slow).
 """
@@ -23,6 +32,7 @@ Run directly (``python benchmarks/bench_serving.py``) or through pytest
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -30,7 +40,14 @@ import numpy as np
 import pytest
 
 from repro.cli import _serving_divergence, _serving_fixture
-from repro.serve import QueryServer
+from repro.errors import ServerOverloadedError
+from repro.serve import (
+    SERVER_WORKER,
+    STORE_LOAD,
+    FaultInjector,
+    ModelStore,
+    QueryServer,
+)
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
@@ -41,6 +58,15 @@ N_WORKERS = 4
 SPEEDUP_FLOOR = 3.0
 PARITY_BOUND = 1e-9
 SEED = 7
+
+N_CHAOS_QUERIES = 500
+CHAOS_MAX_QUEUE = 256
+#: Degraded answers are judged against exact ground truth (not the
+#: model's estimate): an exact-scan route must match it, a sampling
+#: route must land within the advisor's CLT-style bound.  Loose enough
+#: to cover either route on this fixture.
+DEGRADED_BOUND = 0.25
+FUTURE_TIMEOUT_S = 60.0
 
 
 def run_benchmark() -> dict:
@@ -85,6 +111,115 @@ def run_benchmark() -> dict:
     return record
 
 
+def run_chaos_benchmark() -> dict:
+    """The fault-injected leg; merges its record into BENCH_serving.json."""
+    engine, distinct = _serving_fixture(N_GROUPS, ROWS_PER_GROUP, SEED)
+    rng = np.random.default_rng(SEED + 1)
+    workload = [
+        distinct[i] for i in rng.integers(0, len(distinct), N_CHAOS_QUERIES)
+    ]
+    engine.execute(workload[0])  # warm-up
+    oracle = [engine.execute(sql) for sql in workload]
+    # Ground truth for judging degraded answers: the advisor's error
+    # bound is relative to the true aggregate, not to the model's own
+    # estimate (which carries its KDE/regression approximation error).
+    from repro.engines import ExactEngine
+
+    exact_engine = ExactEngine()
+    exact_engine.register_table(engine.tables["served"])
+    truth = [exact_engine.execute(sql) for sql in workload]
+
+    faults = FaultInjector(seed=SEED)
+    faults.inject(STORE_LOAD, probability=0.10, latency_s=0.002)
+    faults.inject(STORE_LOAD, probability=0.01, corrupt=True)
+    # One guaranteed corruption so the quarantine -> breaker -> degrade
+    # chain is always exercised (the 1% draw alone may never fire).
+    faults.inject(STORE_LOAD, corrupt=True, times=1)
+    faults.inject(SERVER_WORKER, kill_worker=True, times=1)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "models.store"
+        ModelStore.write(engine.catalog, store_path)
+        # cache_bytes=1 evicts each record after use, a 1-entry answer
+        # cache keeps thrashing, and coalescing is off, so every query
+        # re-crosses the faulty store.load seam instead of hiding
+        # behind warm caches or batch-mates.
+        engine.catalog = ModelStore(store_path, cache_bytes=1, faults=faults)
+        start = time.perf_counter()
+        with QueryServer(
+            engine,
+            n_workers=N_WORKERS,
+            answer_cache_size=1,
+            coalesce=False,
+            max_queue=CHAOS_MAX_QUEUE,
+            shed_policy="drop-oldest",
+            degrade=True,
+            faults=faults,
+        ) as server:
+            futures = []
+            for sql in workload:
+                try:
+                    futures.append(server.submit(sql))
+                except ServerOverloadedError:
+                    futures.append(None)
+            served = []
+            shed = 0
+            hung = 0
+            for future in futures:
+                if future is None:
+                    shed += 1
+                    served.append(None)
+                    continue
+                try:
+                    served.append(future.result(timeout=FUTURE_TIMEOUT_S))
+                except ServerOverloadedError:
+                    shed += 1
+                    served.append(None)
+                except TimeoutError:
+                    hung += 1
+                    served.append(None)
+            chaos_s = time.perf_counter() - start
+            stats = server.stats()
+
+    answered = [
+        (want, true, got)
+        for want, true, got in zip(oracle, truth, served)
+        if got is not None
+    ]
+    exact = [(want, got) for want, _, got in answered if not got.degraded]
+    degraded = [(true, got) for _, true, got in answered if got.degraded]
+    chaos = {
+        "n_queries": N_CHAOS_QUERIES,
+        "n_workers": N_WORKERS,
+        "max_queue": CHAOS_MAX_QUEUE,
+        "seconds": chaos_s,
+        "qps": N_CHAOS_QUERIES / chaos_s,
+        "answered": len(answered),
+        "hung": hung,
+        "shed": shed,
+        "shed_rate": shed / N_CHAOS_QUERIES,
+        "degraded": len(degraded),
+        "degraded_rate": len(degraded) / N_CHAOS_QUERIES,
+        "exact_divergence": _serving_divergence(
+            [want for want, _ in exact], [got for _, got in exact]
+        ),
+        "degraded_divergence": _serving_divergence(
+            [want for want, _ in degraded], [got for _, got in degraded]
+        ),
+        "faults_fired": faults.stats()["fired"],
+        "store_retries": stats.get("retried", 0),
+        "breaker_opens": stats["breaker"]["opens"],
+        "worker_deaths": stats["worker_deaths"],
+    }
+    try:
+        record = json.loads(RESULT_PATH.read_text())
+    except (OSError, ValueError):
+        record = {"bench": "serving"}
+    record["chaos"] = chaos
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    return chaos
+
+
 @pytest.mark.slow
 def test_serving_throughput_and_parity():
     record = run_benchmark()
@@ -96,6 +231,22 @@ def test_serving_throughput_and_parity():
         f"{record['engine_calls']} engine calls for "
         f"{record['n_queries']} queries)"
     )
+
+
+@pytest.mark.slow
+def test_serving_chaos_availability():
+    chaos = run_chaos_benchmark()
+    assert chaos["hung"] == 0, f"{chaos['hung']} futures never resolved"
+    assert chaos["answered"] + chaos["shed"] == chaos["n_queries"]
+    assert chaos["exact_divergence"] <= PARITY_BOUND, (
+        "non-degraded answers diverged from the fault-free oracle: "
+        f"{chaos['exact_divergence']:.2e}"
+    )
+    assert chaos["degraded_divergence"] <= DEGRADED_BOUND, (
+        "degraded answers strayed beyond the AQP tolerance: "
+        f"{chaos['degraded_divergence']:.2e}"
+    )
+    assert chaos["worker_deaths"] == 1  # the injected kill was absorbed
 
 
 def main() -> int:
@@ -111,10 +262,27 @@ def main() -> int:
     print(f"  {record['batches']} batches, {record['coalesced']} coalesced, "
           f"{record['engine_calls']} engine calls, "
           f"max divergence {record['max_divergence']:.2e}")
+    chaos = run_chaos_benchmark()
+    print(f"chaos leg ({chaos['n_queries']} queries, faulty store, "
+          f"one worker kill)")
+    print(f"  {chaos['seconds']:8.3f}s ({chaos['qps']:8.0f} q/s), "
+          f"{chaos['answered']} answered / {chaos['shed']} shed / "
+          f"{chaos['hung']} hung")
+    print(f"  {chaos['degraded']} degraded "
+          f"(rate {chaos['degraded_rate']:.1%}), "
+          f"exact divergence {chaos['exact_divergence']:.2e}, "
+          f"degraded divergence {chaos['degraded_divergence']:.2e}")
+    print(f"  faults fired {chaos['faults_fired']}, "
+          f"{chaos['store_retries']} store retries, "
+          f"{chaos['breaker_opens']} breaker opens, "
+          f"{chaos['worker_deaths']} worker deaths")
     print(f"record written to {RESULT_PATH}")
     return 0 if (
         record["speedup"] >= SPEEDUP_FLOOR
         and record["max_divergence"] <= PARITY_BOUND
+        and chaos["hung"] == 0
+        and chaos["exact_divergence"] <= PARITY_BOUND
+        and chaos["degraded_divergence"] <= DEGRADED_BOUND
     ) else 1
 
 

@@ -7,6 +7,13 @@ SQL through a :class:`repro.QueryServer`, which parses each query shape
 once, coalesces queued lookalike queries into shared engine passes, and
 memoises answers.
 
+The final section re-serves the same traffic through a deliberately
+broken store — injected latency spikes, transient read errors, and one
+corrupted record — to show the fault-tolerance machinery: store reads
+retry with backoff, the corrupt record is quarantined, the per-model
+circuit breaker trips, and affected queries degrade to a sampling/exact
+AQP answer (tagged ``degraded``) instead of failing.
+
 Run with:  python examples/serving_quickstart.py
 """
 
@@ -91,6 +98,42 @@ def main() -> None:
           f"({store_stats['resident_bytes'] / 1e6:.2f} MB of "
           f"{store_stats['budget_bytes'] / 1e6:.0f} MB budget), "
           f"{store_stats['loads']} lazy loads")
+
+    # 5. Fault tolerance: same traffic, hostile store.  The injector is
+    #    seeded, so this schedule of faults replays identically: 20% of
+    #    record loads stall, 10% fail transiently (absorbed by retry +
+    #    backoff), and one returns corrupted bytes — that record is
+    #    quarantined, its circuit breaker opens, and queries that needed
+    #    it come back as degraded AQP answers instead of errors.
+    faults = repro.FaultInjector(seed=7)
+    faults.inject(repro.STORE_LOAD, probability=0.20, latency_s=0.002)
+    faults.inject(repro.STORE_LOAD, probability=0.10, error=OSError)
+    faults.inject(repro.STORE_LOAD, corrupt=True, times=1)
+    # Degraded answering scans/samples the base table, so the serving
+    # engine needs it registered (the happy path above did not).
+    engine.register_table(sales)
+    engine.catalog = repro.ModelStore(
+        store_dir, cache_bytes=1, faults=faults, retries=2,
+        retry_backoff_ms=1,
+    )
+    with repro.QueryServer(
+        engine, n_workers=4, coalesce=False, answer_cache_size=1,
+        deadline_ms=5_000, max_queue=256, shed_policy="drop-oldest",
+        degrade=True,
+    ) as server:
+        futures = [server.submit(sql) for sql in workload]
+        outcomes = [future.result(timeout=30) for future in futures]
+        stats = server.stats()
+
+    degraded = [result for result in outcomes if result.degraded]
+    print(f"\nfault drill: {len(outcomes)} queries answered under "
+          f"{faults.fired()} injected faults — none hung, none lost")
+    print(f"  store retries:     {stats['retried']}")
+    print(f"  quarantined:       {stats['store']['quarantined']} record(s)")
+    print(f"  breaker opens:     {stats['breaker']['opens']}")
+    print(f"  degraded answers:  {len(degraded)}")
+    if degraded:
+        print(f"  e.g. {degraded[0].degraded_reason}")
 
 
 if __name__ == "__main__":

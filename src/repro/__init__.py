@@ -33,7 +33,17 @@ from repro.core import (
 )
 from repro.engines import ExactEngine, StratifiedAQPEngine, UniformAQPEngine
 from repro.errors import ReproError
-from repro.serve import AnswerCache, ModelStore, PlanCache, QueryServer
+from repro.serve import (
+    NO_FAULTS,
+    SERVER_DEQUEUE,
+    SERVER_WORKER,
+    STORE_LOAD,
+    AnswerCache,
+    FaultInjector,
+    ModelStore,
+    PlanCache,
+    QueryServer,
+)
 from repro.sql import parse_query
 from repro.storage import Table, read_csv, write_csv
 from repro.workloads import (
@@ -48,11 +58,16 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "NO_FAULTS",
+    "SERVER_DEQUEUE",
+    "SERVER_WORKER",
+    "STORE_LOAD",
     "AnswerCache",
     "ColumnSetModel",
     "DBEst",
     "DBEstConfig",
     "ExactEngine",
+    "FaultInjector",
     "GroupByModelSet",
     "ModelBundle",
     "ModelCatalog",

@@ -10,7 +10,9 @@ serving loop, and health checks for the batched engine:
 * ``pack-store``  — repack a catalog file as a lazy per-model store
   directory (:class:`repro.serve.ModelStore`).
 * ``serve``       — answer a stream of SQL (file or stdin) through the
-  coalescing :class:`repro.serve.QueryServer`, from a catalog or store.
+  coalescing :class:`repro.serve.QueryServer`, from a catalog or store;
+  ``--deadline-ms``/``--max-queue``/``--shed-policy``/``--degrade``
+  expose the fault-tolerance knobs.
 * ``advise``      — mine a query-log file and print which models to build.
 * ``bench-smoke`` — a ~2 second batched-vs-scalar GROUP BY sanity check
   covering both sides of the batched engine: *training* (batched trainer
@@ -19,7 +21,10 @@ serving loop, and health checks for the batched engine:
   parity), each run for 1-D predicates and for a MULTI leg with a
   two-column predicate exercising the product-kernel path, plus a SERVE
   leg checking that coalesced/cached serving answers match sequential
-  ``execute``; exits non-zero if any side disagrees.
+  ``execute`` and a FAULT leg serving the same workload from a model
+  store under injected faults (10% load latency, 1% corruption) where
+  every query must still be answered; exits non-zero if any side
+  disagrees or availability drops below 100%.
 * ``bench-serve`` — in-process serving throughput check: a mixed
   workload over a group-by model set, naive sequential ``execute`` vs
   the query server, with answer parity enforced.
@@ -108,6 +113,21 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument("--cache-bytes", type=int, default=None,
                        help="store residency budget in bytes (0 = unbounded)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-query deadline in milliseconds "
+                            "(0 disables; default: engine config)")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="bound on queued queries before shedding "
+                            "(0 = unbounded; default: engine config)")
+    serve.add_argument("--shed-policy", choices=("reject", "drop-oldest"),
+                       default=None,
+                       help="who pays when the queue is full "
+                            "(default: engine config)")
+    serve.add_argument("--degrade", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="serve degraded AQP/exact answers when the "
+                            "model path is unavailable "
+                            "(default: engine config)")
 
     advise = commands.add_parser("advise", help="recommend models for a query log")
     advise.add_argument("--log", type=Path, required=True,
@@ -231,9 +251,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
     start = time.perf_counter()
-    with QueryServer(engine, n_workers=args.workers) as server:
+    with QueryServer(
+        engine,
+        n_workers=args.workers,
+        deadline_ms=args.deadline_ms,
+        max_queue=args.max_queue,
+        shed_policy=args.shed_policy,
+        degrade=args.degrade,
+    ) as server:
         # One bad line must not abort the stream: parse errors raise at
-        # submit time and are reported in place of that query's answer.
+        # submit time (as does admission shedding under --max-queue) and
+        # are reported in place of that query's answer.
         submitted = []
         for sql in sqls:
             try:
@@ -258,6 +286,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{stats['coalesced']} coalesced, {stats['engine_calls']} engine "
         f"calls, {stats['answer_cache']['hits']} answer-cache hits, "
         f"{stats['plan_cache']['hits']} plan-cache hits",
+        file=sys.stderr,
+    )
+    print(
+        f"faults: {stats['shed']} shed, {stats['deadline_missed']} "
+        f"deadline-missed, {stats['degraded']} degraded, "
+        f"{stats.get('retried', 0)} store retries, "
+        f"{stats['breaker']['opens']} breaker opens "
+        f"({stats['breaker']['open']} open now)",
         file=sys.stderr,
     )
     if "store" in stats:
@@ -449,6 +485,65 @@ def _smoke_serve_leg(args: argparse.Namespace) -> float:
     return _serving_divergence(sequential, served)
 
 
+def _smoke_fault_leg(args: argparse.Namespace) -> tuple[int, int, float]:
+    """Serve the smoke workload from a store under injected faults.
+
+    10% of record loads suffer a latency spike and 1% return corrupted
+    bytes (seeded, so the schedule is reproducible).  Every query must
+    still resolve — answered exactly from intact models, or flagged
+    ``degraded`` when a record was quarantined.  Returns
+    ``(unanswered, degraded, worst_divergence_of_exact_answers)`` and
+    prints one FAULT timing row.
+    """
+    import tempfile
+    import time
+
+    from repro.serve import STORE_LOAD, FaultInjector, ModelStore, QueryServer
+
+    engine, distinct = _serving_fixture(
+        min(args.groups, 20), args.rows, args.seed
+    )
+    workload = distinct * 3
+    engine.execute(workload[0])  # warm-up (evaluator stacking)
+    sequential = [engine.execute(sql) for sql in workload]
+    faults = FaultInjector(seed=args.seed)
+    faults.inject(STORE_LOAD, probability=0.10, latency_s=0.002)
+    faults.inject(STORE_LOAD, probability=0.01, corrupt=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "models.store"
+        ModelStore.write(engine.catalog, store_path)
+        # cache_bytes=1 evicts every record after use, so each answer
+        # re-crosses the faulty store.load seam instead of hiding in
+        # the residency cache.
+        engine.catalog = ModelStore(store_path, cache_bytes=1, faults=faults)
+        start = time.perf_counter()
+        with QueryServer(engine, n_workers=2, answer_cache_size=1) as server:
+            futures = [server.submit(sql) for sql in workload]
+            served = []
+            for future in futures:
+                try:
+                    served.append(future.result(timeout=30.0))
+                except Exception:
+                    served.append(None)
+        served_s = time.perf_counter() - start
+    unanswered = sum(1 for result in served if result is None)
+    degraded = sum(
+        1 for result in served if result is not None and result.degraded
+    )
+    exact_pairs = [
+        (seq, got)
+        for seq, got in zip(sequential, served)
+        if got is not None and not got.degraded
+    ]
+    worst = _serving_divergence(
+        [pair[0] for pair in exact_pairs], [pair[1] for pair in exact_pairs]
+    )
+    print(f"{'FAULT':<12} {'':>10} {served_s * 1e3:>8.2f}ms "
+          f"{len(workload) - unanswered}/{len(workload)} answered, "
+          f"{degraded} degraded, {faults.fired(STORE_LOAD)} faults fired")
+    return unanswered, degraded, worst
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     """Mixed-workload serving throughput vs naive sequential execute."""
     import time
@@ -558,16 +653,25 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
 
     # SERVE leg: coalesced/cached serving vs sequential execute.
     serve_worst = _smoke_serve_leg(args)
+
+    # FAULT leg: same workload from a faulty store; availability must
+    # stay at 100% (exact answers or degraded, never unanswered).
+    unanswered, _degraded, fault_worst = _smoke_fault_leg(args)
+    serve_worst = max(serve_worst, fault_worst)
     print(f"max answer divergence over {args.groups} groups: {worst:.2e}; "
           f"max trained-parameter divergence: {train_worst:.2e}; "
           f"max serving divergence: {serve_worst:.2e}")
+    if unanswered:
+        print(f"error: {unanswered} queries went unanswered under injected "
+              "store faults (availability < 100%)", file=sys.stderr)
+        return 2
     if worst > 1e-9 or train_worst > 1e-9 or serve_worst > 1e-9:
         print("error: batched/scalar or served/sequential paths disagree "
               "beyond 1e-9", file=sys.stderr)
         return 2
     print("ok: batched training and evaluation match the scalar oracles "
-          "(1-D and multivariate), and coalesced serving matches "
-          "sequential execute")
+          "(1-D and multivariate), coalesced serving matches sequential "
+          "execute, and serving stayed available under injected faults")
     return 0
 
 

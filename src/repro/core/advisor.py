@@ -1,4 +1,4 @@
-"""Workload-driven model selection.
+"""Workload-driven model selection and per-query engine routing.
 
 Paper §3 "Selecting which Models to Build": every offline-state AQP
 engine must decide which column sets to prepare.  BlinkDB showed that
@@ -7,10 +7,19 @@ typical workload"; VerdictDB asks the user.  DBEst is orthogonal — any
 of these work.  This module implements the BlinkDB-style option: mine a
 query-log prefix, count template frequencies, and recommend (or
 directly build) the models that cover the most queries.
+
+It also houses the *online* routing decision the fault-tolerant serving
+layer needs: when the model path is unavailable (circuit breaker open,
+corrupt record, deadline pressure), :func:`route_degraded` picks which
+of the approximate/exact duality's engines should answer instead —
+exact scans for small tables, stratified samples for grouped/categorical
+queries (rare groups stay represented), uniform samples otherwise —
+and quotes the CLT-style relative error bound the caller should expect.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass
 
@@ -74,6 +83,70 @@ def template_of(query: Query) -> ModelTemplate | None:
         y_column=y_column,
         group_by=group_by,
         join=join,
+    )
+
+
+@dataclass(frozen=True)
+class DegradedRoute:
+    """Which engine serves a degraded answer, and at what accuracy.
+
+    ``engine`` is ``"exact"``, ``"stratified_aqp"`` or ``"uniform_aqp"``;
+    ``stratify_on`` names the stratification column for the stratified
+    route (the query's GROUP BY or categorical-equality column);
+    ``error_bound`` is the advised relative error bound for ratio
+    aggregates (0.0 on the exact route) — a ~3-sigma CLT-style bound of
+    ``3 / sqrt(effective sample rows)``, loose enough to hold across
+    COUNT/SUM/AVG on non-adversarial data and what the serving tests
+    assert degraded answers against.
+    """
+
+    engine: str
+    reason: str
+    stratify_on: str | None = None
+    error_bound: float = 0.0
+
+
+def route_degraded(
+    query: Query,
+    n_rows: int,
+    sample_size: int = 10_000,
+    exact_row_limit: int = 50_000,
+) -> DegradedRoute:
+    """Pick the degraded engine for one query.
+
+    ``n_rows`` is the base table's row count and ``sample_size`` the
+    budget a sampling engine would keep resident.  Tables at or below
+    ``exact_row_limit`` answer exactly (a full columnar scan at that
+    size is cheaper than maintaining a sample); grouped or categorical
+    queries route to stratified samples so rare groups keep
+    representation; scalar range aggregates route to uniform samples.
+    """
+    if n_rows <= exact_row_limit:
+        return DegradedRoute(
+            engine="exact",
+            reason=(
+                f"table fits an exact scan ({n_rows} rows <= "
+                f"{exact_row_limit})"
+            ),
+        )
+    effective = max(1, min(n_rows, sample_size))
+    stratify_on = query.group_by
+    if stratify_on is None and len(query.equalities) == 1:
+        stratify_on = query.equalities[0].column
+    if stratify_on is not None:
+        return DegradedRoute(
+            engine="stratified_aqp",
+            reason=(
+                f"grouped/categorical query: stratified sample on "
+                f"{stratify_on!r} keeps rare groups represented"
+            ),
+            stratify_on=stratify_on,
+            error_bound=3.0 / math.sqrt(effective),
+        )
+    return DegradedRoute(
+        engine="uniform_aqp",
+        reason=f"scalar aggregate over a {n_rows}-row table",
+        error_bound=3.0 / math.sqrt(effective),
     )
 
 

@@ -156,9 +156,15 @@ class ModelCatalog:
     engine knows how to evaluate.
     """
 
+    #: Change-log entries kept for :meth:`changed_keys_since`.  Readers
+    #: further behind than this fall back to "everything may have
+    #: changed" (a full cache clear) instead of unbounded log growth.
+    MAX_CHANGELOG = 256
+
     def __init__(self) -> None:
         self._models: dict[ModelKey, object] = {}
         self._version = 0
+        self._changelog: list[tuple[int, ModelKey]] = []
 
     @property
     def version(self) -> int:
@@ -170,11 +176,33 @@ class ModelCatalog:
         """
         return self._version
 
+    def _record_change(self, key: ModelKey) -> None:
+        self._version += 1
+        self._changelog.append((self._version, key))
+        if len(self._changelog) > self.MAX_CHANGELOG:
+            del self._changelog[: -self.MAX_CHANGELOG]
+
+    def changed_keys_since(self, version: int) -> set[ModelKey] | None:
+        """Keys registered/removed after ``version`` was current.
+
+        Returns the (possibly empty) set of changed keys, or None when
+        the change-log no longer reaches back that far — callers must
+        then treat *every* memoised answer as suspect.  This is what
+        lets the serving layer evict only the affected answer-cache
+        entries on a model rebuild instead of dropping the whole cache.
+        """
+        if version >= self._version:
+            return set()
+        missing = self._version - version
+        if missing > len(self._changelog):
+            return None  # log truncated below the reader's horizon
+        return {key for v, key in self._changelog if v > version}
+
     def register(self, key: ModelKey, model: object, replace: bool = False) -> None:
         if key in self._models and not replace:
             raise CatalogError(f"a model is already registered for {key}")
         self._models[key] = model
-        self._version += 1
+        self._record_change(key)
 
     def get(self, key: ModelKey) -> object:
         try:
@@ -186,7 +214,7 @@ class ModelCatalog:
         if key not in self._models:
             raise CatalogError(f"no model registered for {key}")
         del self._models[key]
-        self._version += 1
+        self._record_change(key)
 
     def __contains__(self, key: ModelKey) -> bool:
         return key in self._models

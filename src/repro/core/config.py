@@ -9,6 +9,7 @@ from repro.errors import InvalidParameterError
 _REGRESSORS = ("ensemble", "gboost", "xgboost", "plr", "linear", "tree")
 _INTEGRATION_METHODS = ("simpson", "quad")
 _PARALLEL_MODES = ("thread", "process")
+_SHED_POLICIES = ("reject", "drop-oldest")
 
 
 @dataclass
@@ -71,6 +72,52 @@ class DBEstConfig:
         budget the least-recently-touched models are dropped back to
         disk (they reload transparently on next touch).  0 means
         unbounded.
+    serve_deadline_ms:
+        Default per-request serving deadline in milliseconds (None =
+        no deadline).  A queued query whose deadline expires before a
+        worker dequeues it fails with
+        :class:`~repro.errors.DeadlineExceededError`; a query whose
+        remaining budget at evaluation time is smaller than the model
+        path's observed latency degrades to a sampling engine instead
+        (when ``serve_degrade`` is on).
+    serve_max_queue:
+        Admission-control bound on queued (not yet executing) requests
+        (0 = unbounded).  When full, ``serve_shed_policy`` decides who
+        is shed with :class:`~repro.errors.ServerOverloadedError`.
+    serve_shed_policy:
+        ``"reject"`` sheds the *new* arrival at submit time;
+        ``"drop-oldest"`` sheds the oldest queued request and admits
+        the new one (dashboards prefer fresh queries over stale ones).
+    serve_retries:
+        Bounded retry count for transient ``OSError`` during model-store
+        record loads (0 = no retry).  Retries back off exponentially
+        from ``serve_retry_backoff_ms`` with deterministic jitter.
+    serve_retry_backoff_ms:
+        Base backoff before the first store-load retry, in milliseconds;
+        attempt *k* waits ``base * 2**k`` scaled by a jitter in
+        [0.5, 1.5) drawn from the store's seeded RNG.
+    serve_breaker_threshold:
+        Consecutive model-path failures on one resolved model key that
+        trip its circuit breaker open.  While open, queries on that key
+        skip the failing model entirely (degrading when possible).
+    serve_breaker_reset_ms:
+        Cool-down after which an open breaker lets one half-open probe
+        through; a successful probe closes the breaker, a failure
+        re-opens it for another cool-down.
+    serve_degrade:
+        Route queries through :meth:`~repro.core.engine.DBEst.answer_degraded`
+        (stratified/uniform AQP or exact, picked per query by
+        :func:`~repro.core.advisor.route_degraded`) when the model path
+        is broken (breaker open, corrupt record) or the deadline is
+        near.  Degraded answers are tagged on the
+        :class:`~repro.core.result.QueryResult`.
+    degrade_sample_size:
+        Rows kept by the degraded sampling engines (uniform/stratified)
+        per table; drawn once, lazily, on first degraded answer.
+    degrade_exact_rows:
+        Tables at or below this row count answer degraded queries
+        exactly (a full scan is cheap enough); larger tables route to a
+        sampling engine.
     random_seed:
         Seed for sampling and model training; None draws fresh entropy.
     """
@@ -91,6 +138,16 @@ class DBEstConfig:
     batched_groupby: bool = True
     batched_train: bool = True
     serve_cache_bytes: int = 256 << 20
+    serve_deadline_ms: float | None = None
+    serve_max_queue: int = 0
+    serve_shed_policy: str = "reject"
+    serve_retries: int = 2
+    serve_retry_backoff_ms: float = 5.0
+    serve_breaker_threshold: int = 3
+    serve_breaker_reset_ms: float = 500.0
+    serve_degrade: bool = True
+    degrade_sample_size: int = 10_000
+    degrade_exact_rows: int = 50_000
     random_seed: int | None = field(default=None)
 
     def __post_init__(self) -> None:
@@ -137,4 +194,48 @@ class DBEstConfig:
             raise InvalidParameterError(
                 f"serve_cache_bytes must be >= 0 (0 = unbounded), "
                 f"got {self.serve_cache_bytes}"
+            )
+        if self.serve_deadline_ms is not None and self.serve_deadline_ms <= 0:
+            raise InvalidParameterError(
+                f"serve_deadline_ms must be positive (or None for no "
+                f"deadline), got {self.serve_deadline_ms}"
+            )
+        if self.serve_max_queue < 0:
+            raise InvalidParameterError(
+                f"serve_max_queue must be >= 0 (0 = unbounded), "
+                f"got {self.serve_max_queue}"
+            )
+        if self.serve_shed_policy not in _SHED_POLICIES:
+            raise InvalidParameterError(
+                f"serve_shed_policy must be one of {_SHED_POLICIES}, "
+                f"got {self.serve_shed_policy!r}"
+            )
+        if self.serve_retries < 0:
+            raise InvalidParameterError(
+                f"serve_retries must be >= 0, got {self.serve_retries}"
+            )
+        if self.serve_retry_backoff_ms < 0:
+            raise InvalidParameterError(
+                f"serve_retry_backoff_ms must be >= 0, "
+                f"got {self.serve_retry_backoff_ms}"
+            )
+        if self.serve_breaker_threshold < 1:
+            raise InvalidParameterError(
+                f"serve_breaker_threshold must be >= 1, "
+                f"got {self.serve_breaker_threshold}"
+            )
+        if self.serve_breaker_reset_ms < 0:
+            raise InvalidParameterError(
+                f"serve_breaker_reset_ms must be >= 0, "
+                f"got {self.serve_breaker_reset_ms}"
+            )
+        if self.degrade_sample_size < 1:
+            raise InvalidParameterError(
+                f"degrade_sample_size must be >= 1, "
+                f"got {self.degrade_sample_size}"
+            )
+        if self.degrade_exact_rows < 0:
+            raise InvalidParameterError(
+                f"degrade_exact_rows must be >= 0, "
+                f"got {self.degrade_exact_rows}"
             )

@@ -11,12 +11,14 @@ level below").
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Sequence
 from functools import lru_cache
 
 import numpy as np
 
+from repro.core.advisor import DegradedRoute, route_degraded
 from repro.core.aggregates import answer_aggregate
 from repro.core.bundles import ModelBundle
 from repro.core.catalog import ModelCatalog, ModelKey
@@ -95,6 +97,24 @@ class DBEst:
         self.fallback = fallback
         self.build_stats: dict[ModelKey, dict] = {}
         self._rng = np.random.default_rng(self.config.random_seed)
+        # Degraded-path engines (exact scan / uniform / stratified AQP
+        # over registered base tables), built lazily on first use and
+        # keyed by (engine kind, tables, stratification column).
+        self._degraded_engines: dict[tuple, object] = {}
+        self._degrade_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # The degraded-engine cache and its lock are process-local
+        # conveniences: strip them so engines stay picklable for the
+        # multi-process harness, and rebuild lazily after unpickling.
+        state = self.__dict__.copy()
+        state["_degraded_engines"] = {}
+        del state["_degrade_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._degrade_lock = threading.Lock()
 
     # -- data registration -------------------------------------------------
 
@@ -447,6 +467,109 @@ class DBEst:
 
         model = self.catalog.find(table, x_columns, y_lookup)
         return answer_aggregate(model, aggregate, ranges)
+
+    # -- graceful degradation ----------------------------------------------
+
+    def answer_degraded(
+        self,
+        table: str,
+        aggregate: AggregateCall,
+        ranges: dict[str, tuple[float, float]],
+        query: Query,
+    ) -> tuple[float | dict, DegradedRoute]:
+        """Answer one aggregate *without* the model path.
+
+        The serving layer calls this when the model path is unavailable
+        (circuit breaker open, corrupt store record) or a deadline
+        leaves no room for it: :func:`~repro.core.advisor.route_degraded`
+        picks an exact scan, a stratified sample, or a uniform sample
+        over the registered base tables, and the chosen engine answers
+        within the route's quoted error bound.  Returns the value and
+        the route taken; raises :class:`UnsupportedQueryError` when no
+        base table is registered to degrade onto (e.g. an engine serving
+        purely from a packed model store).
+        """
+        involved = [query.table] + [join.table for join in query.joins]
+        missing = [name for name in involved if name not in self.tables]
+        if missing:
+            raise UnsupportedQueryError(
+                f"cannot serve a degraded answer: base table(s) "
+                f"{missing} are not registered with this engine"
+            )
+        if query.joins:
+            # Join queries degrade to an exact join over the base
+            # tables; the sampling engines would need pre-built
+            # universe samples per join key to stay unbiased.
+            route = DegradedRoute(
+                engine="exact",
+                reason="join query degrades to an exact join over "
+                "registered base tables",
+            )
+        else:
+            route = route_degraded(
+                query,
+                n_rows=self.tables[query.table].n_rows,
+                sample_size=self.config.degrade_sample_size,
+                exact_row_limit=self.config.degrade_exact_rows,
+            )
+        engine = self._degraded_engine(route, involved)
+        single = Query(
+            aggregates=[aggregate],
+            table=query.table,
+            joins=list(query.joins),
+            ranges=list(query.ranges),
+            equalities=list(query.equalities),
+            group_by=query.group_by,
+        )
+        # The baseline engines keep per-query scratch state
+        # (last_intervals); serialise evaluation so concurrent degraded
+        # answers from server workers cannot interleave on it.
+        with self._degrade_lock:
+            values = engine.execute(single).values
+        return values[str(aggregate)], route
+
+    def _degraded_engine(self, route: DegradedRoute, tables: list[str]):
+        """The lazily-built, cached engine for one degraded route."""
+        from repro.engines import (
+            ExactEngine,
+            StratifiedAQPEngine,
+            UniformAQPEngine,
+        )
+
+        key = (route.engine, tuple(sorted(tables)), route.stratify_on)
+        with self._degrade_lock:
+            engine = self._degraded_engines.get(key)
+            if engine is not None:
+                return engine
+            if route.engine == "exact":
+                engine = ExactEngine()
+                for name in tables:
+                    engine.register_table(self.tables[name])
+            elif route.engine == "uniform_aqp":
+                engine = UniformAQPEngine(
+                    sample_size=self.config.degrade_sample_size,
+                    random_seed=self.config.random_seed,
+                )
+                for name in tables:
+                    engine.register_table(self.tables[name])
+                    engine.prepare_table(name)
+            elif route.engine == "stratified_aqp":
+                engine = StratifiedAQPEngine(
+                    random_seed=self.config.random_seed
+                )
+                for name in tables:
+                    engine.register_table(self.tables[name])
+                    engine.prepare_table(
+                        name,
+                        stratify_on=route.stratify_on,
+                        sample_size=self.config.degrade_sample_size,
+                    )
+            else:  # pragma: no cover - route_degraded is exhaustive
+                raise InvalidParameterError(
+                    f"unknown degraded engine {route.engine!r}"
+                )
+            self._degraded_engines[key] = engine
+            return engine
 
     # -- introspection -----------------------------------------------------
 

@@ -15,12 +15,22 @@ class QueryResult:
     query (``"model"``) or it was routed to the fallback engine
     (``"fallback"``); ``elapsed_seconds`` is wall-clock execution time
     excluding parsing.
+
+    ``degraded`` is set by the serving layer when the model path was
+    unavailable (circuit breaker open, corrupt record, deadline
+    pressure) and the answer came from a degraded engine instead —
+    stratified/uniform AQP over a fresh sample, or an exact scan;
+    ``degraded_reason`` names why and which engine served it.  Degraded
+    answers are approximate within the advisor's error bound rather
+    than bit-identical to the model path.
     """
 
     values: dict[str, float | dict] = field(default_factory=dict)
     source: str = "model"
     elapsed_seconds: float = 0.0
     sql: str = ""
+    degraded: bool = False
+    degraded_reason: str = ""
 
     def scalar(self, aggregate: str | None = None) -> float:
         """The single scalar answer; convenience for one-aggregate queries."""

@@ -71,12 +71,45 @@ class CatalogError(ModelError):
     """The model catalog was used inconsistently."""
 
 
+class CorruptRecordError(CatalogError):
+    """An on-disk model record failed its integrity checks.
+
+    Raised by the lazy model store when a record's magic header, CRC, or
+    pickle payload is bad.  The record is quarantined to a sidecar
+    directory on first detection, so later touches of the same key fail
+    fast with this error instead of re-reading the poisoned bytes.
+    """
+
+
 class BundleError(ModelError):
     """A model bundle could not be serialized or restored."""
 
 
 class QueryExecutionError(ReproError):
     """A query failed while being evaluated against models or samples."""
+
+
+class ServerOverloadedError(QueryExecutionError):
+    """The serving queue is full and admission control shed this query.
+
+    Under the ``"reject"`` shed policy it raises at ``submit`` time; under
+    ``"drop-oldest"`` it resolves the *oldest* queued query's future so
+    the new arrival can be admitted.
+    """
+
+
+class DeadlineExceededError(QueryExecutionError):
+    """A query's serving deadline expired before an answer was produced."""
+
+
+class CircuitOpenError(QueryExecutionError):
+    """The per-model circuit breaker is open and degradation is off.
+
+    After K consecutive model-path failures the breaker stops sending
+    queries at the failing model; with graceful degradation disabled (or
+    impossible — no base table registered) callers see this error
+    immediately instead of waiting out another failure.
+    """
 
 
 class InvalidParameterError(ReproError, ValueError):

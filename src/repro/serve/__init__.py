@@ -13,19 +13,38 @@ exploits sharing across groups:
   ``(resolved ModelKey, aggregate, bounds)`` answers.
 * :class:`QueryServer` — thread-safe worker pool that coalesces queued
   lookalike queries into shared engine passes and resolves per-caller
-  futures.
+  futures, with deadlines, admission control, per-model circuit
+  breakers, and degrade-to-AQP fault tolerance.
+* :class:`FaultInjector` — deterministic, seedable fault injection at
+  the store/server seams (:data:`NO_FAULTS` is the no-op default).
 """
 
 from repro.serve.answer_cache import AnswerCache, answer_key
+from repro.serve.faults import (
+    NO_FAULTS,
+    SERVER_DEQUEUE,
+    SERVER_WORKER,
+    STORE_LOAD,
+    FaultInjector,
+    FaultPlan,
+    WorkerKilled,
+)
 from repro.serve.plan_cache import PlanCache
 from repro.serve.server import QueryServer
 from repro.serve.store import ModelStore, StoreRecord
 
 __all__ = [
+    "NO_FAULTS",
+    "SERVER_DEQUEUE",
+    "SERVER_WORKER",
+    "STORE_LOAD",
     "AnswerCache",
+    "FaultInjector",
+    "FaultPlan",
     "ModelStore",
     "PlanCache",
     "QueryServer",
     "StoreRecord",
+    "WorkerKilled",
     "answer_key",
 ]

@@ -114,6 +114,33 @@ class AnswerCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
 
+    def invalidate(self, changed_model_keys, new_version: int) -> int:
+        """Per-key invalidation sweep after a catalog version bump.
+
+        Entries whose resolved :class:`ModelKey` (the first element of
+        their :func:`answer_key`) is in ``changed_model_keys`` are
+        evicted; every *other* entry is re-tagged to ``new_version`` —
+        its model did not change, so its answer is still exact.  A
+        computation that raced the sweep still can't poison the cache:
+        it ``put``\\ s with the version it observed *before* the bump,
+        which no later reader presents.
+
+        Returns the number of entries evicted.
+        """
+        changed = set(changed_model_keys)
+        dropped = 0
+        with self._lock:
+            for key in list(self._entries):
+                if key[0] in changed:
+                    del self._entries[key]
+                    dropped += 1
+                else:
+                    entry = self._entries[key]
+                    if entry[0] != new_version:
+                        self._entries[key] = (new_version, entry[1])
+            self._evictions += dropped
+        return dropped
+
     @staticmethod
     def missing(value: object) -> bool:
         """True when :meth:`get` found no entry."""

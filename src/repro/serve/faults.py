@@ -1,0 +1,240 @@
+"""Deterministic fault injection at the serving layer's seams.
+
+Fault tolerance claims are only as good as the faults they were tested
+against, and real stores rarely misbehave on demand.  This module puts
+*seeded, reproducible* misbehaviour behind no-op hooks at the seams the
+serving stack already crosses:
+
+* ``store.load``   — a model-store record read (latency spike,
+  transient ``OSError``, byte corruption);
+* ``server.dequeue`` — a worker picking up a batch (latency: a slow or
+  stalled worker);
+* ``server.worker``  — the worker loop itself (death: the thread
+  exits, the server must respawn and no future may hang).
+
+The production objects (:class:`~repro.serve.store.ModelStore`,
+:class:`~repro.serve.server.QueryServer`) default to the shared
+:data:`NO_FAULTS` injector whose :meth:`~FaultInjector.plan` returns a
+singleton empty plan — the hooks cost one attribute lookup and one
+branch when no harness is attached.
+
+Rules are registered per site with a firing probability, an optional
+bounded fire count, and any combination of effects::
+
+    faults = FaultInjector(seed=7)
+    faults.inject("store.load", probability=0.10, latency_s=0.005)
+    faults.inject("store.load", probability=0.01, corrupt=True)
+    faults.inject("store.load", error=OSError("disk glitch"), times=2)
+    faults.inject("server.worker", kill_worker=True, times=1)
+
+Draws come from one seeded RNG under a mutex, so a given seed and call
+sequence reproduces the exact same fault schedule — tests assert on
+specific behaviours, not on luck.  Per-site fire counters let tests and
+the chaos bench report how much abuse a run actually absorbed.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidParameterError
+
+#: Seam names used by the built-in hooks (sites are free-form strings;
+#: these constants just keep tests and production code in sync).
+STORE_LOAD = "store.load"
+SERVER_DEQUEUE = "server.dequeue"
+SERVER_WORKER = "server.worker"
+
+
+class WorkerKilled(Exception):
+    """Raised inside a worker thread to simulate its death.
+
+    The query server catches it at the top of the worker loop (never
+    while a batch's futures are held), records the death, and respawns
+    a replacement thread.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What one seam crossing should suffer.  Empty for the no-op path."""
+
+    sleep_s: float = 0.0
+    error: BaseException | None = None
+    corrupt: bool = False
+    kill_worker: bool = False
+
+    def raise_if_error(self) -> None:
+        if self.error is not None:
+            raise self.error
+
+
+_EMPTY_PLAN = FaultPlan()
+
+
+@dataclass
+class _Rule:
+    site: str
+    probability: float
+    latency_s: float
+    error: BaseException | type[BaseException] | None
+    corrupt: bool
+    kill_worker: bool
+    remaining: int | None  # None = unlimited
+    fired: int = field(default=0)
+
+
+class FaultInjector:
+    """Seedable, thread-safe fault schedule over named seams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._mutex = threading.Lock()
+        self._rules: list[_Rule] = []
+        self._fired: dict[str, int] = {}
+
+    def inject(
+        self,
+        site: str,
+        probability: float = 1.0,
+        latency_s: float = 0.0,
+        error: BaseException | type[BaseException] | None = None,
+        corrupt: bool = False,
+        kill_worker: bool = False,
+        times: int | None = None,
+    ) -> "FaultInjector":
+        """Register one fault rule; returns self for chaining.
+
+        ``times`` bounds how often the rule may fire (None = unlimited);
+        ``error`` may be an exception instance (re-raised each fire) or
+        a class (instantiated fresh each fire).
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise InvalidParameterError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        if latency_s < 0.0:
+            raise InvalidParameterError(
+                f"latency_s must be >= 0, got {latency_s}"
+            )
+        if times is not None and times < 1:
+            raise InvalidParameterError(
+                f"times must be >= 1 (or None for unlimited), got {times}"
+            )
+        if (
+            latency_s == 0.0
+            and error is None
+            and not corrupt
+            and not kill_worker
+        ):
+            raise InvalidParameterError(
+                "a fault rule needs at least one effect "
+                "(latency_s, error, corrupt, or kill_worker)"
+            )
+        with self._mutex:
+            self._rules.append(
+                _Rule(
+                    site=site,
+                    probability=probability,
+                    latency_s=latency_s,
+                    error=error,
+                    corrupt=corrupt,
+                    kill_worker=kill_worker,
+                    remaining=times,
+                )
+            )
+        return self
+
+    def plan(self, site: str) -> FaultPlan:
+        """The faults this seam crossing suffers (the hot-path hook).
+
+        Every registered rule for ``site`` draws independently; effects
+        of all firing rules merge into one plan (the first firing error
+        wins).  Exhausted rules (``times`` reached) never fire again.
+        """
+        with self._mutex:
+            sleep_s = 0.0
+            error: BaseException | None = None
+            corrupt = False
+            kill_worker = False
+            fired = False
+            for rule in self._rules:
+                if rule.site != site:
+                    continue
+                if rule.remaining is not None and rule.remaining <= 0:
+                    continue
+                if rule.probability < 1.0 and (
+                    self._rng.random() >= rule.probability
+                ):
+                    continue
+                if rule.remaining is not None:
+                    rule.remaining -= 1
+                rule.fired += 1
+                fired = True
+                sleep_s += rule.latency_s
+                if error is None and rule.error is not None:
+                    error = (
+                        rule.error()
+                        if isinstance(rule.error, type)
+                        else rule.error
+                    )
+                corrupt = corrupt or rule.corrupt
+                kill_worker = kill_worker or rule.kill_worker
+            if not fired:
+                return _EMPTY_PLAN
+            self._fired[site] = self._fired.get(site, 0) + 1
+        return FaultPlan(
+            sleep_s=sleep_s,
+            error=error,
+            corrupt=corrupt,
+            kill_worker=kill_worker,
+        )
+
+    @staticmethod
+    def corrupt_bytes(data: bytes) -> bytes:
+        """Flip one byte mid-payload — past the magic header, so the
+        damage is caught by CRC/unpickle checks, not the header check."""
+        if not data:
+            return data
+        index = len(data) // 2
+        return data[:index] + bytes([data[index] ^ 0xFF]) + data[index + 1 :]
+
+    def fired(self, site: str | None = None) -> int:
+        """Seam crossings that suffered at least one fault (all sites
+        summed when ``site`` is None)."""
+        with self._mutex:
+            if site is not None:
+                return self._fired.get(site, 0)
+            return sum(self._fired.values())
+
+    def stats(self) -> dict:
+        with self._mutex:
+            return {
+                "rules": len(self._rules),
+                "fired": dict(self._fired),
+            }
+
+    def reset(self) -> None:
+        """Drop all rules and counters (the RNG keeps its stream)."""
+        with self._mutex:
+            self._rules.clear()
+            self._fired.clear()
+
+
+class _NoFaults(FaultInjector):
+    """Shared no-op injector; refuses rule registration."""
+
+    def inject(self, *args, **kwargs):  # pragma: no cover - guard rail
+        raise InvalidParameterError(
+            "NO_FAULTS is the shared no-op injector; create a "
+            "FaultInjector() to register fault rules"
+        )
+
+    def plan(self, site: str) -> FaultPlan:
+        return _EMPTY_PLAN
+
+
+#: Default injector: every seam crossing gets the shared empty plan.
+NO_FAULTS = _NoFaults()

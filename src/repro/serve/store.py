@@ -36,8 +36,11 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import threading
+import time
 import uuid
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -50,7 +53,8 @@ from repro.core.catalog import (
     split_header,
 )
 from repro.core.config import DBEstConfig
-from repro.errors import CatalogError, ModelNotFoundError
+from repro.errors import CatalogError, CorruptRecordError, ModelNotFoundError
+from repro.serve.faults import NO_FAULTS, STORE_LOAD, FaultInjector
 
 MANIFEST_MAGIC = b"DBESTMAN"
 RECORD_MAGIC = b"DBESTREC"
@@ -58,15 +62,23 @@ STORE_FORMAT_VERSION = 1
 
 _MANIFEST_NAME = "MANIFEST"
 _RECORDS_DIR = "records"
+_QUARANTINE_DIR = "quarantine"
 
 
 @dataclass(frozen=True)
 class StoreRecord:
-    """Manifest entry for one stored model."""
+    """Manifest entry for one stored model.
+
+    ``crc32`` is the checksum of the pickled payload (after the record
+    header); None on manifests written before checksumming existed —
+    those records skip CRC verification but still fail on bad
+    magic/unpickle.
+    """
 
     filename: str
     nbytes: int
     model_type: str
+    crc32: int | None = None
 
 
 class ModelStore:
@@ -77,30 +89,58 @@ class ModelStore:
         path: str | Path,
         cache_bytes: int | None = None,
         config: DBEstConfig | None = None,
+        retries: int | None = None,
+        retry_backoff_ms: float | None = None,
+        faults: FaultInjector = NO_FAULTS,
     ) -> None:
         """Open an existing store; loads the manifest, no models.
 
         ``cache_bytes`` bounds the summed record sizes of resident
         models (0 = unbounded); when None it comes from
         ``config.serve_cache_bytes`` (or the default config's).
+        ``retries``/``retry_backoff_ms`` bound the retry of transient
+        ``OSError`` during record loads (defaults from config);
+        ``faults`` is the injection harness hook for tests and chaos
+        benches.
         """
         self.path = Path(path)
+        defaults = config or DBEstConfig()
         if cache_bytes is None:
-            cache_bytes = (config or DBEstConfig()).serve_cache_bytes
+            cache_bytes = defaults.serve_cache_bytes
         if cache_bytes < 0:
             raise CatalogError(
                 f"cache_bytes must be >= 0 (0 = unbounded), got {cache_bytes}"
             )
         self.cache_bytes = int(cache_bytes)
+        self.retries = (
+            defaults.serve_retries if retries is None else int(retries)
+        )
+        if self.retries < 0:
+            raise CatalogError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        self.retry_backoff_ms = (
+            defaults.serve_retry_backoff_ms
+            if retry_backoff_ms is None
+            else float(retry_backoff_ms)
+        )
+        self._faults = faults
+        # Deterministic backoff jitter: seeded per handle, not shared
+        # global entropy, so a failing run replays identically.
+        self._jitter = random.Random(0)
         self._lock = threading.Lock()
         self._records: dict[ModelKey, StoreRecord] = self._read_manifest()
         # Resident models in least-recently-touched-first order.
         self._resident: OrderedDict[ModelKey, object] = OrderedDict()
         self._resident_bytes = 0
+        # Keys whose records failed integrity checks; their files sit in
+        # the quarantine sidecar and every later touch fails fast.
+        self._quarantined: dict[ModelKey, str] = {}
         self._hits = 0
         self._misses = 0
         self._loads = 0
         self._evictions = 0
+        self._retries_used = 0
 
     # -- writing -----------------------------------------------------------
 
@@ -146,6 +186,7 @@ class ModelStore:
                 filename=filename,
                 nbytes=len(payload),
                 model_type=type(model).__name__,
+                crc32=zlib.crc32(payload),
             )
         manifest_payload = pack_header(
             MANIFEST_MAGIC, STORE_FORMAT_VERSION
@@ -201,6 +242,9 @@ class ModelStore:
                 self._resident.move_to_end(key)
                 self._hits += 1
                 return self._resident[key]
+            quarantined = self._quarantined.get(key)
+            if quarantined is not None:
+                raise CorruptRecordError(quarantined)
             try:
                 record = self._records[key]
             except KeyError:
@@ -225,19 +269,91 @@ class ModelStore:
             raise CatalogError(
                 f"store record {record_path} for {key} is missing"
             )
-        body = split_header(
-            record_path.read_bytes(),
-            RECORD_MAGIC,
-            STORE_FORMAT_VERSION,
-            f"store record {record_path}",
-        )
+        data = self._read_with_retry(record_path)
         try:
+            body = split_header(
+                data,
+                RECORD_MAGIC,
+                STORE_FORMAT_VERSION,
+                f"store record {record_path}",
+            )
+            crc32 = getattr(record, "crc32", None)
+            if crc32 is not None and zlib.crc32(body) != crc32:
+                raise CatalogError(
+                    f"store record {record_path} for {key} fails its CRC "
+                    "check (payload bytes differ from what was written)"
+                )
             model = pickle.loads(body)
+        except CatalogError as exc:
+            raise self._quarantine(key, record, record_path, exc) from exc
         except Exception as exc:
-            raise CatalogError(
+            reason = CatalogError(
                 f"store record {record_path} for {key} is corrupt: {exc}"
-            ) from exc
+            )
+            raise self._quarantine(key, record, record_path, reason) from exc
         return model
+
+    def _read_with_retry(self, record_path: Path) -> bytes:
+        """Read record bytes, retrying transient ``OSError`` with
+        jittered exponential backoff (fault hooks fire per attempt)."""
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            try:
+                plan = self._faults.plan(STORE_LOAD)
+                if plan.sleep_s:
+                    time.sleep(plan.sleep_s)
+                plan.raise_if_error()
+                data = record_path.read_bytes()
+                if plan.corrupt:
+                    data = FaultInjector.corrupt_bytes(data)
+                return data
+            except OSError as exc:
+                if attempt + 1 >= attempts:
+                    raise CatalogError(
+                        f"store record {record_path} failed to read after "
+                        f"{attempts} attempt(s): {exc}"
+                    ) from exc
+                backoff_s = (
+                    self.retry_backoff_ms
+                    / 1000.0
+                    * (2.0**attempt)
+                    * (0.5 + self._jitter.random())
+                )
+                with self._lock:
+                    self._retries_used += 1
+                if backoff_s > 0.0:
+                    time.sleep(backoff_s)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _quarantine(
+        self,
+        key: ModelKey,
+        record: StoreRecord,
+        record_path: Path,
+        reason: CatalogError,
+    ) -> CorruptRecordError:
+        """Move a bad record to the sidecar dir and mark the key.
+
+        Returns (does not raise) the error for the caller to raise with
+        proper chaining.  Later touches of the key fail fast from the
+        in-memory quarantine set instead of re-reading poisoned bytes —
+        one bad record must not turn every subsequent hit into a fresh
+        disk read + unpickle attempt.
+        """
+        quarantine_dir = self.path / _QUARANTINE_DIR
+        sidecar = quarantine_dir / record.filename
+        try:
+            quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(record_path, sidecar)
+            moved = f"; record moved to {sidecar}"
+        except OSError:
+            # The record may be gone or the dir unwritable mid-fault;
+            # the in-memory marker alone still prevents poisoning.
+            moved = ""
+        message = f"{reason} (quarantined{moved})"
+        with self._lock:
+            self._quarantined.setdefault(key, message)
+        return CorruptRecordError(message)
 
     def _evict_over_budget(self, protect: ModelKey) -> None:
         """Drop least-recently-touched models until under budget.
@@ -332,6 +448,16 @@ class ModelStore:
             self._resident.clear()
             self._resident_bytes = 0
 
+    def quarantined_keys(self) -> list[ModelKey]:
+        """Keys whose records failed integrity checks this session."""
+        with self._lock:
+            return list(self._quarantined)
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt record files are moved on detection."""
+        return self.path / _QUARANTINE_DIR
+
     def stats(self) -> dict:
         """Hit/miss/load/eviction counters and residency occupancy."""
         with self._lock:
@@ -344,6 +470,8 @@ class ModelStore:
                 "misses": self._misses,
                 "loads": self._loads,
                 "evictions": self._evictions,
+                "retries": self._retries_used,
+                "quarantined": len(self._quarantined),
             }
 
     def __repr__(self) -> str:
