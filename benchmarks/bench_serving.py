@@ -16,6 +16,13 @@ over sequential with every answer within 1e-9 relative) and recorded to
 ``BENCH_serving.json`` at the repo root so the performance trajectory
 is tracked across PRs.
 
+A *cold-start* leg writes the same catalog to disk in both store
+formats and measures store-open to first GROUP BY answer: the pickle
+format unpickles and restacks every CSR array up front, the mmap format
+maps the persisted arrays in place (``coldstart`` record; the mapped
+path must clear ``COLDSTART_FLOOR`` with bit-identical answers and
+pickle worker segments as path references, not arrays).
+
 A second *chaos* leg re-serves a 500-query workload from an on-disk
 model store under injected faults — 10% of record loads suffer a
 latency spike, 1% return corrupted bytes, and one worker thread is
@@ -31,7 +38,9 @@ Run directly (``python benchmarks/bench_serving.py``) or through pytest
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import pickle
 import tempfile
 import time
 from pathlib import Path
@@ -39,7 +48,9 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro import DBEst
 from repro.cli import _serving_divergence, _serving_fixture
+from repro.sql.ast import AggregateCall
 from repro.errors import ServerOverloadedError
 from repro.serve import (
     SERVER_WORKER,
@@ -58,6 +69,9 @@ N_WORKERS = 4
 SPEEDUP_FLOOR = 3.0
 PARITY_BOUND = 1e-9
 SEED = 7
+
+N_COLDSTART_REPEATS = 5
+COLDSTART_FLOOR = 3.0
 
 N_CHAOS_QUERIES = 500
 CHAOS_MAX_QUEUE = 256
@@ -109,6 +123,108 @@ def run_benchmark() -> dict:
     }
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     return record
+
+
+def _pool_worker_rss_kb(workers: int) -> float | None:
+    """Mean resident set size (kB) of the persistent process pool's
+    workers, from /proc; None where unsupported.  Informational — the
+    asserted no-copy signal is the pickled-segment payload size."""
+    from repro.core.parallel import _POOLS
+
+    pool = _POOLS.get(("process", workers))
+    if pool is None:
+        return None
+    try:
+        sizes = []
+        for pid in list(getattr(pool, "_processes", {})):
+            status = Path(f"/proc/{pid}/status").read_text()
+            for line in status.splitlines():
+                if line.startswith("VmRSS:"):
+                    sizes.append(float(line.split()[1]))
+                    break
+        return float(np.mean(sizes)) if sizes else None
+    except OSError:
+        return None
+
+
+def run_coldstart_benchmark() -> dict:
+    """Cold start (store open -> first GROUP BY answer), pickle vs mmap.
+
+    The pickle path unpickles the whole group-by set and restacks its
+    CSR arrays; the mapped path is an mmap + header check with the
+    derived arrays persisted.  Answers must be bit-identical.  Also
+    records the pickled-payload size of one worker-pool segment under
+    each format (mapped segments pickle as path references) and the
+    pool workers' RSS after a fanned-out pass.  Merges a ``coldstart``
+    record into BENCH_serving.json.
+    """
+    engine, distinct = _serving_fixture(N_GROUPS, ROWS_PER_GROUP, SEED)
+    gb_queries = [sql for sql in distinct if "GROUP BY" in sql]
+    group_key = next(k for k in engine.catalog.keys() if k.group_by)
+    first_aggregate = AggregateCall("COUNT", "x")
+    first_ranges = {"x": (20.0, 60.0)}
+    serving_config = dataclasses.replace(engine.config, n_workers=N_WORKERS)
+
+    legs: dict[str, dict] = {}
+    answers: dict[str, list] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = {
+            fmt: Path(tmp) / f"{fmt}.store" for fmt in ("mmap", "pickle")
+        }
+        for fmt, store_path in paths.items():
+            ModelStore.write(engine.catalog, store_path, store_format=fmt)
+        # The mmap leg runs first so the persistent process pool's RSS
+        # reading cannot be inflated by pickle-leg allocations.
+        for fmt, store_path in paths.items():
+            times = []
+            # Timed region: store open -> group-by model load -> first
+            # batched answer.  That is exactly what the record format
+            # changes (unpickle + restack vs mmap + header check); the
+            # SQL layer above it is format-independent and is parity-
+            # checked separately below.  One warm-up repeat absorbs
+            # first-touch costs shared by both legs (imports, page
+            # cache for the record file); min over the rest is the
+            # noise-robust cold-start statistic.
+            for repeat in range(N_COLDSTART_REPEATS + 1):
+                start = time.perf_counter()
+                cold = ModelStore(store_path)
+                cold.get(group_key).answer(first_aggregate, first_ranges)
+                if repeat > 0:
+                    times.append(time.perf_counter() - start)
+            # Warm handle for parity answers + worker fan-out metrics.
+            serving = DBEst(config=serving_config)
+            serving.catalog = ModelStore(store_path)
+            answers[fmt] = [serving.execute(sql) for sql in gb_queries]
+            evaluator = serving.catalog.get(group_key).batched_evaluator()
+            segment_bytes = max(
+                len(pickle.dumps(segment))
+                for segment in evaluator.split(N_WORKERS)
+            )
+            legs[fmt] = {
+                "first_answer_seconds": float(np.min(times)),
+                "segment_pickle_bytes": segment_bytes,
+                "worker_rss_kb": _pool_worker_rss_kb(N_WORKERS),
+            }
+
+    coldstart = {
+        "n_groups": N_GROUPS,
+        "repeats": N_COLDSTART_REPEATS,
+        "n_workers": N_WORKERS,
+        "pickle": legs["pickle"],
+        "mmap": legs["mmap"],
+        "speedup": (
+            legs["pickle"]["first_answer_seconds"]
+            / legs["mmap"]["first_answer_seconds"]
+        ),
+        "divergence": _serving_divergence(answers["pickle"], answers["mmap"]),
+    }
+    try:
+        record = json.loads(RESULT_PATH.read_text())
+    except (OSError, ValueError):
+        record = {"bench": "serving"}
+    record["coldstart"] = coldstart
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    return coldstart
 
 
 def run_chaos_benchmark() -> dict:
@@ -234,6 +350,28 @@ def test_serving_throughput_and_parity():
 
 
 @pytest.mark.slow
+def test_serving_coldstart():
+    coldstart = run_coldstart_benchmark()
+    assert coldstart["divergence"] <= PARITY_BOUND, (
+        "mmap answers diverged from the pickle oracle: "
+        f"{coldstart['divergence']:.2e}"
+    )
+    assert coldstart["speedup"] >= COLDSTART_FLOOR, (
+        f"mmap cold start only {coldstart['speedup']:.1f}x over pickle "
+        f"({coldstart['pickle']['first_answer_seconds'] * 1e3:.1f}ms -> "
+        f"{coldstart['mmap']['first_answer_seconds'] * 1e3:.1f}ms); "
+        f"need >= {COLDSTART_FLOOR}x"
+    )
+    # Mapped worker segments must pickle as path references, never as
+    # the stacked arrays themselves.
+    assert coldstart["mmap"]["segment_pickle_bytes"] < 4096
+    assert (
+        coldstart["pickle"]["segment_pickle_bytes"]
+        > 10 * coldstart["mmap"]["segment_pickle_bytes"]
+    )
+
+
+@pytest.mark.slow
 def test_serving_chaos_availability():
     chaos = run_chaos_benchmark()
     assert chaos["hung"] == 0, f"{chaos['hung']} futures never resolved"
@@ -262,6 +400,17 @@ def main() -> int:
     print(f"  {record['batches']} batches, {record['coalesced']} coalesced, "
           f"{record['engine_calls']} engine calls, "
           f"max divergence {record['max_divergence']:.2e}")
+    coldstart = run_coldstart_benchmark()
+    print(f"cold-start leg ({coldstart['n_groups']} groups, "
+          f"best of {coldstart['repeats']})")
+    for fmt in ("pickle", "mmap"):
+        leg = coldstart[fmt]
+        rss = (f"{leg['worker_rss_kb'] / 1024:7.1f} MB worker rss"
+               if leg["worker_rss_kb"] else "worker rss n/a")
+        print(f"  {fmt:6s} first answer {leg['first_answer_seconds'] * 1e3:8.1f}ms, "
+              f"{leg['segment_pickle_bytes']:8d} B segment pickle, {rss}")
+    print(f"  {coldstart['speedup']:.1f}x cold-start speedup, "
+          f"divergence {coldstart['divergence']:.2e}")
     chaos = run_chaos_benchmark()
     print(f"chaos leg ({chaos['n_queries']} queries, faulty store, "
           f"one worker kill)")
@@ -280,6 +429,8 @@ def main() -> int:
     return 0 if (
         record["speedup"] >= SPEEDUP_FLOOR
         and record["max_divergence"] <= PARITY_BOUND
+        and coldstart["speedup"] >= COLDSTART_FLOOR
+        and coldstart["divergence"] <= PARITY_BOUND
         and chaos["hung"] == 0
         and chaos["exact_divergence"] <= PARITY_BOUND
         and chaos["degraded_divergence"] <= DEGRADED_BOUND

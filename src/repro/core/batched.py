@@ -103,6 +103,39 @@ def _segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     return np.add.reduceat(values, offsets[:-1])
 
 
+# Placeholder tag marking "an ndarray lived here" in a flattened state
+# skeleton; the paired segment name keys the actual array.
+_MAPPED_SEGMENT = "__mapped_segment__"
+
+
+def _flatten_arrays(node, prefix: str, segments: dict):
+    """Replace every ndarray under ``node`` with a named placeholder.
+
+    Arrays are recorded in ``segments`` keyed by their slash-joined path
+    (``"m/centres"``, ``"m/reg_ens/plr/tree/knots"``); dicts recurse;
+    everything else (None, group-value lists, scalars, pickled regressor
+    objects) passes through untouched.  :func:`_restore_arrays` inverts.
+    """
+    if isinstance(node, np.ndarray):
+        segments[prefix] = node
+        return (_MAPPED_SEGMENT, prefix)
+    if isinstance(node, dict):
+        return {
+            key: _flatten_arrays(value, f"{prefix}/{key}", segments)
+            for key, value in node.items()
+        }
+    return node
+
+
+def _restore_arrays(node, segments: dict):
+    """Swap :func:`_flatten_arrays` placeholders back to arrays."""
+    if isinstance(node, tuple) and len(node) == 2 and node[0] == _MAPPED_SEGMENT:
+        return segments[node[1]]
+    if isinstance(node, dict):
+        return {key: _restore_arrays(value, segments) for key, value in node.items()}
+    return node
+
+
 class BatchedGroupEvaluator:
     """All per-group state of one GROUP BY model set, stacked flat.
 
@@ -166,6 +199,48 @@ class BatchedGroupEvaluator:
             except (StopIteration, KeyError, RuntimeError):
                 break  # racing evictor got there first; best-effort is fine
             total -= evicted.get("elements", 0)
+
+    # -- mapped persistence -------------------------------------------------
+
+    def export_mapped_state(self) -> tuple[dict, dict]:
+        """Flatten this evaluator into ``(meta, segments)`` for persistence.
+
+        ``segments`` maps a slash-joined state path (``"m/centres"``,
+        ``"m/reg_plr/knots"``, ``"r/x"``, ...) to the ndarray living
+        there — every array the answer paths touch, *including* the
+        derived expansions (``aug_*``, ``inv_h_rep``, ``centre_over_h``,
+        ``pdf_scale``), so a loader never re-runs the per-group derive
+        loop.  ``meta`` is the state skeleton with each array replaced
+        by a ``(_MAPPED_SEGMENT, name)`` placeholder; everything
+        non-array (group values, ``points``, ``reg_mode``, pickled
+        ``reg_objects``) stays in it verbatim.  :meth:`from_mapped`
+        inverts the transform, accepting any mapping of name to
+        array-like — in particular ``np.memmap`` views straight off a
+        store record.
+        """
+        segments: dict = {}
+        meta = {
+            "x_columns": tuple(self.x_columns),
+            "y_column": self.y_column,
+            "model": _flatten_arrays(self._m, "m", segments),
+            "raw": _flatten_arrays(self._r, "r", segments),
+        }
+        return meta, segments
+
+    @classmethod
+    def from_mapped(cls, meta: dict, segments: dict) -> "BatchedGroupEvaluator":
+        """Rebuild an evaluator from :meth:`export_mapped_state` output.
+
+        Zero copies: the state dicts reference the given arrays (memmap
+        views included) directly, and no derive pass runs — the derived
+        arrays were persisted as segments of their own.
+        """
+        return cls(
+            tuple(meta["x_columns"]),
+            meta["y_column"],
+            _restore_arrays(meta["model"], segments),
+            _restore_arrays(meta["raw"], segments),
+        )
 
     # -- construction -------------------------------------------------------
 
@@ -640,7 +715,17 @@ class BatchedGroupEvaluator:
                 part["reg_objects"] = state["reg_objects"][g0:g1]
             elif state["reg_mode"] == "generic":
                 part["reg_objects"] = state["reg_objects"][g0:g1]
-            self._derive_model_arrays(part)
+            # Slice the derived expansions instead of re-deriving them:
+            # bit-identical (plain contiguous slices) and, on a mapped
+            # state, the parts stay zero-copy views of the same pages.
+            a0, a1 = state["aug_offsets"][g0], state["aug_offsets"][g1]
+            part["counts"] = state["counts"][g0:g1]
+            part["inv_h"] = state["inv_h"][g0:g1]
+            part["inv_h_rep"] = state["inv_h_rep"][c0:c1]
+            part["aug_counts"] = state["aug_counts"][g0:g1]
+            part["aug_offsets"] = state["aug_offsets"][g0:g1 + 1] - a0
+            part["aug_centre_over_h"] = state["aug_centre_over_h"][a0:a1]
+            part["aug_weights"] = state["aug_weights"][a0:a1]
             parts.append(part)
         return parts
 
@@ -667,7 +752,10 @@ class BatchedGroupEvaluator:
                 part["reg_affine"] = state["reg_affine"][g0:g1]
             elif state["reg_mode"] == "generic":
                 part["reg_objects"] = state["reg_objects"][g0:g1]
-            self._derive_model_arrays_nd(part)
+            for key in ("counts", "inv_h", "pdf_scale"):
+                part[key] = state[key][g0:g1]
+            for key in ("inv_h_rep", "centre_over_h"):
+                part[key] = state[key][c0:c1]
             parts.append(part)
         return parts
 

@@ -987,3 +987,27 @@ def train_batched_models(
             model._fit_residual_variance(xs[seg][:, None], ys[seg])
         models[value] = model
     return models
+
+
+def export_group_state(model_set) -> tuple[dict, dict] | None:
+    """Flattened evaluator state of a trained group-by set, or None.
+
+    The train-side export hook for the zero-copy model store: builds (or
+    reuses) the set's :class:`~repro.core.batched.BatchedGroupEvaluator`
+    and returns its ``(meta, segments)`` pair with every segment made
+    contiguous, ready to be written as memory-mappable buffers.  Returns
+    None when the set cannot be stacked (mixed regressors, non-Simpson
+    integration, ...) or when any stacked array holds Python objects —
+    those sets stay on the pickle record format.
+    """
+    evaluator = model_set.batched_evaluator()
+    if evaluator is None:
+        return None
+    meta, segments = evaluator.export_mapped_state()
+    packed = {}
+    for name, arr in segments.items():
+        arr = np.ascontiguousarray(arr)
+        if arr.dtype.hasobject:
+            return None
+        packed[name] = arr
+    return meta, packed

@@ -10,6 +10,7 @@ _REGRESSORS = ("ensemble", "gboost", "xgboost", "plr", "linear", "tree")
 _INTEGRATION_METHODS = ("simpson", "quad")
 _PARALLEL_MODES = ("thread", "process")
 _SHED_POLICIES = ("reject", "drop-oldest")
+_STORE_FORMATS = ("pickle", "mmap")
 
 
 @dataclass
@@ -72,6 +73,15 @@ class DBEstConfig:
         budget the least-recently-touched models are dropped back to
         disk (they reload transparently on next touch).  0 means
         unbounded.
+    store_format:
+        Record format :meth:`~repro.serve.store.ModelStore.write` uses
+        when not told explicitly: ``"pickle"`` (version-1 records, the
+        parity oracle) or ``"mmap"`` (version-2 memory-mappable records
+        — group-by sets persist their stacked CSR arrays as aligned
+        segments, loads become an mmap + header check, and forked
+        worker pools share the pages instead of receiving pickled
+        arrays).  Models the mapped format cannot hold fall back to
+        pickle records within the same store.
     serve_deadline_ms:
         Default per-request serving deadline in milliseconds (None =
         no deadline).  A queued query whose deadline expires before a
@@ -138,6 +148,7 @@ class DBEstConfig:
     batched_groupby: bool = True
     batched_train: bool = True
     serve_cache_bytes: int = 256 << 20
+    store_format: str = "pickle"
     serve_deadline_ms: float | None = None
     serve_max_queue: int = 0
     serve_shed_policy: str = "reject"
@@ -194,6 +205,11 @@ class DBEstConfig:
             raise InvalidParameterError(
                 f"serve_cache_bytes must be >= 0 (0 = unbounded), "
                 f"got {self.serve_cache_bytes}"
+            )
+        if self.store_format not in _STORE_FORMATS:
+            raise InvalidParameterError(
+                f"store_format must be one of {_STORE_FORMATS}, "
+                f"got {self.store_format!r}"
             )
         if self.serve_deadline_ms is not None and self.serve_deadline_ms <= 0:
             raise InvalidParameterError(

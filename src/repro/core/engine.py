@@ -309,6 +309,28 @@ class DBEst:
         self.catalog.register(key, bundle, replace=True)
         return bundle
 
+    def pack_store(
+        self,
+        path,
+        store_format: str | None = None,
+        cache_bytes: int | None = None,
+    ):
+        """Write this engine's catalog as an on-disk model store.
+
+        ``store_format`` overrides ``config.store_format`` ("pickle" |
+        "mmap"); returns the open :class:`~repro.serve.store.ModelStore`
+        handle, ready to be assigned as another engine's catalog.
+        """
+        from repro.serve.store import ModelStore
+
+        return ModelStore.write(
+            self.catalog,
+            path,
+            cache_bytes=cache_bytes,
+            config=self.config,
+            store_format=store_format,
+        )
+
     # -- query execution ------------------------------------------------------
 
     def execute(self, sql: str | Query) -> QueryResult:

@@ -6,7 +6,11 @@ exploits sharing across groups:
 
 * :class:`ModelStore` — versioned on-disk model store: per-model
   records behind a manifest, lazy loading on first touch, LRU eviction
-  under a byte budget (``DBEstConfig.serve_cache_bytes``).
+  under a byte budget (``DBEstConfig.serve_cache_bytes``).  With
+  ``store_format="mmap"`` group-by sets persist their stacked CSR
+  arrays as aligned memory-mappable segments: loads become an mmap +
+  header check (:class:`MappedGroupByModelSet`) and forked worker
+  pools share the pages instead of receiving pickled arrays.
 * :class:`PlanCache` — normalised-template plan cache: parse each query
   shape once, bind literals on later sightings.
 * :class:`AnswerCache` — bounded memoisation of
@@ -31,7 +35,12 @@ from repro.serve.faults import (
 )
 from repro.serve.plan_cache import PlanCache
 from repro.serve.server import QueryServer
-from repro.serve.store import ModelStore, StoreRecord
+from repro.serve.store import (
+    MappedGroupByModelSet,
+    ModelStore,
+    StoreRecord,
+    load_mapped_model,
+)
 
 __all__ = [
     "NO_FAULTS",
@@ -41,10 +50,12 @@ __all__ = [
     "AnswerCache",
     "FaultInjector",
     "FaultPlan",
+    "MappedGroupByModelSet",
     "ModelStore",
     "PlanCache",
     "QueryServer",
     "StoreRecord",
     "WorkerKilled",
     "answer_key",
+    "load_mapped_model",
 ]

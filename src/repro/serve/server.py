@@ -31,6 +31,12 @@ layers the missing serving loop on top of an engine:
   model locks serialise evaluation on any single model set (its lazily
   built evaluator and grid cache are not safe under concurrent
   mutation) while different model sets evaluate genuinely in parallel.
+* **Model store** — serving from a
+  :class:`~repro.serve.store.ModelStore` catalog loads records lazily
+  under an LRU byte budget; with mapped (``store_format="mmap"``)
+  records a group-by set's stacked CSR arrays are memory-mapped
+  zero-copy, so cold start is an mmap + header check and forked
+  evaluation pools share pages instead of pickled arrays.
 
 Fault tolerance (all knobs default from ``engine.config``):
 

@@ -7,16 +7,75 @@ the blob with a *directory* of per-model records:
 
 * ``MANIFEST`` — magic + format-version header, then a pickled mapping
   of :class:`~repro.core.catalog.ModelKey` to record metadata (filename,
-  payload bytes, model type name).  Opening a store reads only this.
+  payload bytes, model type name, record format).  Opening a store
+  reads only this.
 * ``records/NNNNNN.model`` — one file per model, each with its own
-  magic + format-version header followed by the pickled model.
+  magic + record-version header.
 
-Models load on first touch and live in an LRU keyed by their on-disk
-record size; once the summed resident bytes exceed the configured
-budget (``DBEstConfig.serve_cache_bytes``), the least-recently-touched
-models are dropped back to disk.  An evicted model reloads
-transparently on its next touch and — being a pure function of its
-pickled parameters — answers bit-identically to its first life.
+Models load on first touch and live in an LRU keyed by their heap
+charge; once the summed resident bytes exceed the configured budget
+(``DBEstConfig.serve_cache_bytes``), the least-recently-touched models
+are dropped back to disk.  An evicted model reloads transparently on
+its next touch and — being a pure function of its stored parameters —
+answers bit-identically to its first life.
+
+Record formats
+==============
+
+Two record formats share the ``DBESTREC`` magic and are distinguished
+by the record version in the header (``fmt`` in the manifest entry):
+
+**Pickle records (version 1).**  ``header | pickle(model)``, CRC32 of
+the pickled payload in the manifest.  Any model type; loading
+unpickles the whole object onto the heap.
+
+**Mapped records (version 2)** — the zero-copy format for group-by
+model sets.  Layout::
+
+    offset  bytes  content
+    0       10     header: 8-byte magic "DBESTREC" + u16-LE version (2)
+    10      8      u64-LE length of the metadata blob
+    18      L      metadata blob: pickled dict with keys
+                     "set"       group-set identity (table, columns,
+                                 group values, config)
+                     "state"     evaluator state skeleton with each
+                                 array replaced by a named placeholder
+                     "segments"  {name: (dtype.str, shape,
+                                  relative offset, nbytes)}
+                     "data_bytes" total segment-region length
+    A       ...    segment region; A = align64(18 + L)
+
+Every segment starts 64-byte aligned *relative to the region origin*,
+and the origin itself is 64-byte aligned in the file, so each segment
+is a cache-line- (and SIMD-) aligned ``np.memmap`` view.  The segments
+are the :class:`~repro.core.batched.BatchedGroupEvaluator` CSR arrays —
+mixture centres/weights/offsets, regressor state, the multivariate
+product-mixture arrays, *and* the derived per-centre expansions — plus
+one ``__fallback__`` uint8 segment holding the pickled
+:class:`~repro.core.groupby.GroupByModelSet` for the rare non-batched
+paths (per-group ``answer_group``, ``batched=False``); the fallback is
+only unpickled when such a path is hit, so cold start never touches
+its pages.
+
+Loading a mapped record is an mmap + header check: no unpickling of
+array data, no restacking.  The returned
+:class:`MappedGroupByModelSet` answers group-by aggregates directly on
+the mapped views; its worker-pool segments pickle as a ``(path,
+n_chunks, index)`` reference — a few hundred bytes — and each worker
+re-maps the same file, so forked pools share the page cache instead of
+receiving copies of the CSR arrays.
+
+The manifest CRC32 of a mapped record covers the metadata blob only:
+verifying the (much larger) segment region would force a full read and
+defeat lazy cold start.  Bit-rot inside segments is therefore not
+self-detected; the fault-injection seam corrupts the prefix reads that
+*are* CRC-checked, preserving the corrupt→quarantine semantics.
+
+Versioning rules: bumping the *record* version only affects new
+records (old stores keep reading); the *manifest* version changes only
+when the manifest mapping itself becomes incompatible.  Unknown
+record versions fail with a :class:`~repro.errors.CatalogError` naming
+found and expected versions.
 
 The read API mirrors :class:`~repro.core.catalog.ModelCatalog`
 (``get`` / ``find`` / ``resolve`` / ``keys`` / ``__contains__`` /
@@ -37,14 +96,19 @@ from __future__ import annotations
 import os
 import pickle
 import random
+import struct
 import threading
 import time
 import uuid
+import weakref
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
+import numpy as np
+
+from repro.core.batched import BatchedGroupEvaluator
 from repro.core.catalog import (
     ModelCatalog,
     ModelKey,
@@ -53,32 +117,298 @@ from repro.core.catalog import (
     split_header,
 )
 from repro.core.config import DBEstConfig
+from repro.core.groupby import GroupByModelSet
 from repro.errors import CatalogError, CorruptRecordError, ModelNotFoundError
 from repro.serve.faults import NO_FAULTS, STORE_LOAD, FaultInjector
 
 MANIFEST_MAGIC = b"DBESTMAN"
 RECORD_MAGIC = b"DBESTREC"
 STORE_FORMAT_VERSION = 1
+#: Record version of the memory-mappable format (see module docstring).
+MAPPED_RECORD_VERSION = 2
 
 _MANIFEST_NAME = "MANIFEST"
 _RECORDS_DIR = "records"
 _QUARANTINE_DIR = "quarantine"
+
+_STORE_FORMATS = ("pickle", "mmap")
+_ALIGN = 64
+_META_LEN = struct.Struct("<Q")
+_HEADER_LEN = len(pack_header(RECORD_MAGIC, STORE_FORMAT_VERSION))
+_FALLBACK_SEGMENT = "__fallback__"
+
+# Every live memory-mapping of a record file, across all store handles
+# in this process.  ``ModelStore.write`` consults it before pruning
+# stale generations: a file some evaluator still has mapped keeps its
+# *path* alive, because worker pools reconstruct pickled segments from
+# that path (POSIX keeps the unlinked inode readable, but a reference
+# by name would dangle).  WeakSet: a dropped mapping frees its file.
+_LIVE_MAPPINGS: "weakref.WeakSet[_RecordMapping]" = weakref.WeakSet()
+_MAPPINGS_LOCK = threading.Lock()
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
 @dataclass(frozen=True)
 class StoreRecord:
     """Manifest entry for one stored model.
 
-    ``crc32`` is the checksum of the pickled payload (after the record
-    header); None on manifests written before checksumming existed —
-    those records skip CRC verification but still fail on bad
-    magic/unpickle.
+    ``crc32`` is the checksum of the pickled payload (pickle records)
+    or of the metadata blob (mapped records); None on manifests written
+    before checksumming existed — those records skip CRC verification
+    but still fail on bad magic/unpickle.  ``fmt`` distinguishes
+    record formats ("pickle" | "mmap"); ``meta_nbytes`` is a mapped
+    record's metadata-blob length (its heap charge and prefix-read
+    length) and ``mapped_nbytes`` its segment-region length.  The new
+    fields default for manifests written before the mapped format.
     """
 
     filename: str
     nbytes: int
     model_type: str
     crc32: int | None = None
+    fmt: str = "pickle"
+    meta_nbytes: int = 0
+    mapped_nbytes: int = 0
+
+
+class _RecordMapping:
+    """One open memory-mapping of a mapped record file.
+
+    Owns the ``np.memmap`` and the segment table; evaluators keep a
+    reference so the mapping (and its registration in
+    ``_LIVE_MAPPINGS``) lives exactly as long as some consumer of its
+    views does.
+    """
+
+    def __init__(self, path: Path, mm: np.memmap, origin: int, spec: dict) -> None:
+        self.path = Path(path).resolve()
+        self._mm = mm
+        self._origin = origin
+        self._spec = spec
+        with _MAPPINGS_LOCK:
+            _LIVE_MAPPINGS.add(self)
+
+    def view(self, name: str) -> np.ndarray:
+        """Zero-copy (read-only) array view of one segment."""
+        dtype_str, shape, offset, nbytes = self._spec[name]
+        start = self._origin + offset
+        return self._mm[start:start + nbytes].view(np.dtype(dtype_str)).reshape(shape)
+
+    def segment_bytes(self, name: str) -> bytes:
+        """One segment copied out as bytes (fallback unpickling)."""
+        _dtype, _shape, offset, nbytes = self._spec[name]
+        start = self._origin + offset
+        return bytes(self._mm[start:start + nbytes])
+
+    @property
+    def mapped_nbytes(self) -> int:
+        return sum(entry[3] for entry in self._spec.values())
+
+
+def _parse_record_prefix(data: bytes, path) -> tuple[int, bytes]:
+    """Split a mapped record's prefix into (meta length, meta blob)."""
+    body = split_header(
+        data, RECORD_MAGIC, MAPPED_RECORD_VERSION, f"store record {path}"
+    )
+    if len(body) < _META_LEN.size:
+        raise CatalogError(f"store record {path} is truncated (no metadata length)")
+    (meta_len,) = _META_LEN.unpack(body[:_META_LEN.size])
+    meta_blob = body[_META_LEN.size:_META_LEN.size + meta_len]
+    if len(meta_blob) != meta_len:
+        raise CatalogError(
+            f"store record {path} is truncated (metadata blob ends early)"
+        )
+    return meta_len, meta_blob
+
+
+def _map_record_file(path: Path) -> tuple[dict, dict, _RecordMapping]:
+    """Map one record file: (record meta, {name: array view}, mapping).
+
+    The only I/O is the metadata prefix read; the segment region is
+    mapped, not read, so the arrays fault in lazily page by page.
+    """
+    with open(path, "rb") as fh:
+        prefix = fh.read(_HEADER_LEN + _META_LEN.size)
+        body = split_header(
+            prefix, RECORD_MAGIC, MAPPED_RECORD_VERSION, f"store record {path}"
+        )
+        if len(body) < _META_LEN.size:
+            raise CatalogError(
+                f"store record {path} is truncated (no metadata length)"
+            )
+        (meta_len,) = _META_LEN.unpack(body)
+        meta_blob = fh.read(meta_len)
+    if len(meta_blob) != meta_len:
+        raise CatalogError(
+            f"store record {path} is truncated (metadata blob ends early)"
+        )
+    try:
+        rec_meta = pickle.loads(meta_blob)
+    except Exception as exc:
+        raise CatalogError(f"store record {path} is corrupt: {exc}") from exc
+    origin = _align(_HEADER_LEN + _META_LEN.size + meta_len)
+    mm = np.memmap(path, dtype=np.uint8, mode="r")
+    if mm.size < origin + rec_meta["data_bytes"]:
+        raise CatalogError(
+            f"store record {path} is truncated (segment region ends early)"
+        )
+    mapping = _RecordMapping(path, mm, origin, rec_meta["segments"])
+    segments = {
+        name: mapping.view(name)
+        for name in rec_meta["segments"]
+        if name != _FALLBACK_SEGMENT
+    }
+    return rec_meta, segments, mapping
+
+
+def _load_mapped_segment(path: str, n_chunks: int, index: int):
+    """Worker-side rebuild of one pickled evaluator segment.
+
+    Re-maps the record file and re-runs the (deterministic) split: the
+    pickled form of a mapped segment is this call's argument triple, a
+    few hundred bytes, instead of the CSR arrays themselves.
+    """
+    rec_meta, segments, mapping = _map_record_file(Path(path))
+    evaluator = BatchedGroupEvaluator.from_mapped(rec_meta["state"], segments)
+    part = BatchedGroupEvaluator.split(evaluator, n_chunks)[index]
+    return _MappedSegment(part, path, n_chunks, index, mapping)
+
+
+class _MappedSegment(BatchedGroupEvaluator):
+    """A split part of a mapped evaluator that pickles by reference."""
+
+    def __init__(self, part: BatchedGroupEvaluator, record_path: str,
+                 n_chunks: int, index: int, mapping: _RecordMapping) -> None:
+        super().__init__(part.x_columns, part.y_column, part._m, part._r)
+        self._record_path = record_path
+        self._n_chunks = n_chunks
+        self._index = index
+        self._mapping = mapping
+
+    def __reduce__(self):
+        return (
+            _load_mapped_segment,
+            (self._record_path, self._n_chunks, self._index),
+        )
+
+
+class _MappedEvaluator(BatchedGroupEvaluator):
+    """Evaluator over mapped views whose splits pickle by reference."""
+
+    def __init__(self, x_columns, y_column, model_state, raw_state,
+                 record_path: str, mapping: _RecordMapping) -> None:
+        super().__init__(x_columns, y_column, model_state, raw_state)
+        self._record_path = record_path
+        self._mapping = mapping
+
+    def split(self, n_chunks: int) -> list[BatchedGroupEvaluator]:
+        parts = BatchedGroupEvaluator.split(self, n_chunks)
+        if len(parts) == 1 and parts[0] is self:
+            return parts
+        return [
+            _MappedSegment(part, self._record_path, n_chunks, i, self._mapping)
+            for i, part in enumerate(parts)
+        ]
+
+
+def load_mapped_model(path: str | Path) -> "MappedGroupByModelSet":
+    """Open one mapped record file as a servable group-by model set."""
+    path = Path(path)
+    rec_meta, segments, mapping = _map_record_file(path)
+    state = rec_meta["state"]
+    base = BatchedGroupEvaluator.from_mapped(state, segments)
+    evaluator = _MappedEvaluator(
+        base.x_columns, base.y_column, base._m, base._r, str(path), mapping
+    )
+    return MappedGroupByModelSet(rec_meta["set"], evaluator, mapping, str(path))
+
+
+class MappedGroupByModelSet:
+    """A group-by model set answering straight from mapped CSR arrays.
+
+    Duck-type compatible with :class:`~repro.core.groupby.GroupByModelSet`
+    on the serving surface (``answer`` / ``answer_group`` /
+    ``group_values`` / ``n_groups`` / ``batched_evaluator``).  The
+    batched GROUP BY path never touches the heap-model fallback; the
+    per-group and ``batched=False`` paths (and any other attribute)
+    transparently unpickle the record's ``__fallback__`` segment once
+    and delegate.  Pickling produces a record-path reference, not the
+    arrays.
+    """
+
+    def __init__(self, set_meta: dict, evaluator: _MappedEvaluator,
+                 mapping: _RecordMapping, record_path: str) -> None:
+        self.table_name = set_meta["table_name"]
+        self.x_columns = list(set_meta["x_columns"])
+        self.y_column = set_meta["y_column"]
+        self.group_column = set_meta["group_column"]
+        self.config = set_meta["config"]
+        self._group_values = list(set_meta["group_values"])
+        self._evaluator = evaluator
+        self._mapping = mapping
+        self._record_path = record_path
+        self._fallback = None
+        self._fallback_lock = threading.Lock()
+
+    # -- GroupByModelSet serving surface ------------------------------------
+
+    @property
+    def group_values(self) -> list:
+        return list(self._group_values)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._group_values)
+
+    def batched_evaluator(self):
+        return self._evaluator
+
+    def answer(self, aggregate, ranges, n_workers: int | None = None,
+               batched: bool | None = None) -> dict:
+        if batched is False:
+            return self._hydrated().answer(
+                aggregate, ranges, n_workers=n_workers, batched=False
+            )
+        workers = n_workers if n_workers is not None else self.config.n_workers
+        # The shared fan-out/merge logic, run with this set as `self`:
+        # it only needs n_groups and config, and the mapped evaluator's
+        # split() hands workers path references instead of arrays.
+        return GroupByModelSet._answer_batched(
+            self, self._evaluator, aggregate, ranges, workers
+        )
+
+    def answer_group(self, value, aggregate, ranges) -> float:
+        return self._hydrated().answer_group(value, aggregate, ranges)
+
+    # -- fallback hydration --------------------------------------------------
+
+    def _hydrated(self) -> GroupByModelSet:
+        """The record's pickled heap model set, unpickled on first need."""
+        model = self._fallback
+        if model is None:
+            with self._fallback_lock:
+                if self._fallback is None:
+                    blob = self._mapping.segment_bytes(_FALLBACK_SEGMENT)
+                    self._fallback = pickle.loads(blob)
+                model = self._fallback
+        return model
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._hydrated(), name)
+
+    def __reduce__(self):
+        return (load_mapped_model, (self._record_path,))
+
+    def __repr__(self) -> str:
+        return (
+            f"MappedGroupByModelSet(table={self.table_name!r}, "
+            f"groups={self.n_groups}, record={self._record_path!r})"
+        )
 
 
 class ModelStore:
@@ -95,7 +425,7 @@ class ModelStore:
     ) -> None:
         """Open an existing store; loads the manifest, no models.
 
-        ``cache_bytes`` bounds the summed record sizes of resident
+        ``cache_bytes`` bounds the summed heap charges of resident
         models (0 = unbounded); when None it comes from
         ``config.serve_cache_bytes`` (or the default config's).
         ``retries``/``retry_backoff_ms`` bound the retry of transient
@@ -151,8 +481,16 @@ class ModelStore:
         path: str | Path,
         cache_bytes: int | None = None,
         config: DBEstConfig | None = None,
+        store_format: str | None = None,
     ) -> "ModelStore":
         """Serialise a catalog (or key->model mapping) as a store.
+
+        ``store_format`` selects the record format (default from
+        ``config.store_format``): "pickle" writes version-1 pickle
+        records; "mmap" writes version-2 memory-mappable records for
+        every group-by set the batched evaluator can stack (other
+        models — scalar column sets, unbatchable group sets — fall
+        back to pickle records in the same store).
 
         Overwrites any store already at ``path`` and returns an open
         handle with nothing resident.  Rewrites are crash-safe: each
@@ -160,10 +498,20 @@ class ModelStore:
         the manifest is replaced atomically as the final step, so a
         crash mid-write leaves the previous manifest pointing at its
         own untouched records.  The previous generation's files are
-        pruned after the swap — a handle opened on the *old* manifest
-        in another process loses its records, so swap live-served
-        warehouses by writing a fresh directory instead.
+        pruned after the swap — except files a live evaluator in this
+        process still has mapped, which are left for a later write to
+        prune once their readers are gone.  A handle opened on the
+        *old* manifest in another process loses its records, so swap
+        live-served warehouses by writing a fresh directory instead.
         """
+        defaults = config or DBEstConfig()
+        if store_format is None:
+            store_format = getattr(defaults, "store_format", "pickle")
+        if store_format not in _STORE_FORMATS:
+            raise CatalogError(
+                f"store_format must be one of {_STORE_FORMATS}, "
+                f"got {store_format!r}"
+            )
         if isinstance(models, ModelCatalog):
             items = [(key, models.get(key)) for key in models.keys()]
         else:
@@ -179,27 +527,115 @@ class ModelStore:
                 raise CatalogError(
                     f"store keys must be ModelKey, got {type(key).__name__}"
                 )
-            payload = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+            if isinstance(model, MappedGroupByModelSet):
+                # Repacking a mapped store: pickle the heap model, not
+                # the wrapper (whose pickle is a path reference into
+                # the very generation being replaced).
+                model = model._hydrated()
             filename = f"{generation}-{index:06d}.model"
-            (records_dir / filename).write_bytes(header + payload)
-            manifest[key] = StoreRecord(
-                filename=filename,
-                nbytes=len(payload),
-                model_type=type(model).__name__,
-                crc32=zlib.crc32(payload),
+            packed = (
+                cls._pack_mapped_record(model)
+                if store_format == "mmap"
+                else None
             )
+            if packed is not None:
+                body, meta_nbytes, mapped_nbytes, crc = packed
+                (records_dir / filename).write_bytes(body)
+                manifest[key] = StoreRecord(
+                    filename=filename,
+                    nbytes=len(body),
+                    model_type=type(model).__name__,
+                    crc32=crc,
+                    fmt="mmap",
+                    meta_nbytes=meta_nbytes,
+                    mapped_nbytes=mapped_nbytes,
+                )
+            else:
+                payload = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+                (records_dir / filename).write_bytes(header + payload)
+                manifest[key] = StoreRecord(
+                    filename=filename,
+                    nbytes=len(payload),
+                    model_type=type(model).__name__,
+                    crc32=zlib.crc32(payload),
+                )
         manifest_payload = pack_header(
             MANIFEST_MAGIC, STORE_FORMAT_VERSION
         ) + pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL)
         manifest_tmp = path / (_MANIFEST_NAME + ".tmp")
         manifest_tmp.write_bytes(manifest_payload)
         os.replace(manifest_tmp, path / _MANIFEST_NAME)
-        # Prune records of previous, now-unreferenced generations.
+        # Prune records of previous, now-unreferenced generations —
+        # unless a live mapping still holds the file (its path must
+        # stay valid for worker-side segment reconstruction).
         keep = {record.filename for record in manifest.values()}
+        with _MAPPINGS_LOCK:
+            live = {mapping.path for mapping in _LIVE_MAPPINGS}
         for stale in records_dir.glob("*.model"):
-            if stale.name not in keep:
-                stale.unlink()
+            if stale.name in keep:
+                continue
+            try:
+                if stale.resolve() in live:
+                    continue
+            except OSError:  # pragma: no cover - raced unlink
+                continue
+            stale.unlink()
         return cls(path, cache_bytes=cache_bytes, config=config)
+
+    @staticmethod
+    def _pack_mapped_record(model) -> tuple[bytes, int, int, int] | None:
+        """Serialise one model as a mapped record body, or None.
+
+        Returns ``(body, meta_nbytes, mapped_nbytes, crc32)``; None
+        when the model is not a group-by set the batched evaluator can
+        stack (the caller writes a pickle record instead).
+        """
+        if not isinstance(model, GroupByModelSet):
+            return None
+        from repro.core.batched_train import export_group_state
+
+        exported = export_group_state(model)
+        if exported is None:
+            return None
+        meta, segments = exported
+        fallback = np.frombuffer(
+            pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL),
+            dtype=np.uint8,
+        )
+        spec: dict = {}
+        chunks: list[tuple[int, np.ndarray]] = []
+        cursor = 0
+        for name, arr in list(segments.items()) + [(_FALLBACK_SEGMENT, fallback)]:
+            start = _align(cursor)
+            spec[name] = (arr.dtype.str, tuple(arr.shape), start, arr.nbytes)
+            chunks.append((start, arr))
+            cursor = start + arr.nbytes
+        rec_meta = {
+            "set": {
+                "table_name": model.table_name,
+                "x_columns": tuple(model.x_columns),
+                "y_column": model.y_column,
+                "group_column": model.group_column,
+                "group_values": list(model.group_values),
+                "config": model.config,
+            },
+            "state": meta,
+            "segments": spec,
+            "data_bytes": cursor,
+        }
+        meta_blob = pickle.dumps(rec_meta, protocol=pickle.HIGHEST_PROTOCOL)
+        prefix = (
+            pack_header(RECORD_MAGIC, MAPPED_RECORD_VERSION)
+            + _META_LEN.pack(len(meta_blob))
+            + meta_blob
+        )
+        origin = _align(len(prefix))
+        body = bytearray(origin + cursor)
+        body[: len(prefix)] = prefix
+        for start, arr in chunks:
+            raw = arr.tobytes()
+            body[origin + start: origin + start + len(raw)] = raw
+        return bytes(body), len(meta_blob), cursor, zlib.crc32(meta_blob)
 
     def _read_manifest(self) -> dict[ModelKey, StoreRecord]:
         manifest_path = self.path / _MANIFEST_NAME
@@ -227,6 +663,19 @@ class ModelStore:
         return manifest
 
     # -- catalog-compatible read API ---------------------------------------
+
+    @staticmethod
+    def _record_charge(record: StoreRecord) -> int:
+        """A record's LRU heap charge.
+
+        Pickle records put their whole payload on the heap; mapped
+        records only their metadata blob — the segment pages are
+        file-backed and shared, so charging them against the heap
+        budget would double-count memory the OS can reclaim at will.
+        """
+        if getattr(record, "fmt", "pickle") == "mmap":
+            return record.meta_nbytes
+        return record.nbytes
 
     def get(self, key: ModelKey) -> object:
         """The model for ``key``, loading its record on first touch.
@@ -259,7 +708,7 @@ class ModelStore:
                 self._resident.move_to_end(key)
                 return self._resident[key]
             self._resident[key] = model
-            self._resident_bytes += record.nbytes
+            self._resident_bytes += self._record_charge(record)
             self._evict_over_budget(protect=key)
             return model
 
@@ -269,6 +718,8 @@ class ModelStore:
             raise CatalogError(
                 f"store record {record_path} for {key} is missing"
             )
+        if getattr(record, "fmt", "pickle") == "mmap":
+            return self._load_mapped_record(key, record, record_path)
         data = self._read_with_retry(record_path)
         try:
             body = split_header(
@@ -293,9 +744,40 @@ class ModelStore:
             raise self._quarantine(key, record, record_path, reason) from exc
         return model
 
-    def _read_with_retry(self, record_path: Path) -> bytes:
-        """Read record bytes, retrying transient ``OSError`` with
-        jittered exponential backoff (fault hooks fire per attempt)."""
+    def _load_mapped_record(
+        self, key: ModelKey, record: StoreRecord, record_path: Path
+    ) -> object:
+        """Integrity-check a mapped record's prefix, then mmap it.
+
+        Only the header + metadata blob is read (through the retry /
+        fault-injection seam, so transient-error and corruption
+        semantics match pickle records); the segment region is mapped
+        lazily.
+        """
+        prefix_len = _HEADER_LEN + _META_LEN.size + record.meta_nbytes
+        data = self._read_with_retry(record_path, nbytes=prefix_len)
+        try:
+            _meta_len, meta_blob = _parse_record_prefix(data, record_path)
+            crc32 = getattr(record, "crc32", None)
+            if crc32 is not None and zlib.crc32(meta_blob) != crc32:
+                raise CatalogError(
+                    f"store record {record_path} for {key} fails its CRC "
+                    "check (metadata bytes differ from what was written)"
+                )
+            model = load_mapped_model(record_path)
+        except CatalogError as exc:
+            raise self._quarantine(key, record, record_path, exc) from exc
+        except Exception as exc:
+            reason = CatalogError(
+                f"store record {record_path} for {key} is corrupt: {exc}"
+            )
+            raise self._quarantine(key, record, record_path, reason) from exc
+        return model
+
+    def _read_with_retry(self, record_path: Path, nbytes: int | None = None) -> bytes:
+        """Read record bytes (all, or the first ``nbytes``), retrying
+        transient ``OSError`` with jittered exponential backoff (fault
+        hooks fire per attempt)."""
         attempts = self.retries + 1
         for attempt in range(attempts):
             try:
@@ -303,7 +785,11 @@ class ModelStore:
                 if plan.sleep_s:
                     time.sleep(plan.sleep_s)
                 plan.raise_if_error()
-                data = record_path.read_bytes()
+                if nbytes is None:
+                    data = record_path.read_bytes()
+                else:
+                    with open(record_path, "rb") as fh:
+                        data = fh.read(nbytes)
                 if plan.corrupt:
                     data = FaultInjector.corrupt_bytes(data)
                 return data
@@ -338,7 +824,9 @@ class ModelStore:
         proper chaining.  Later touches of the key fail fast from the
         in-memory quarantine set instead of re-reading poisoned bytes —
         one bad record must not turn every subsequent hit into a fresh
-        disk read + unpickle attempt.
+        disk read + unpickle attempt.  (`os.replace` renames: a mapping
+        some evaluator already holds on the file keeps working — pages
+        belong to the inode, not the name.)
         """
         quarantine_dir = self.path / _QUARANTINE_DIR
         sidecar = quarantine_dir / record.filename
@@ -360,7 +848,9 @@ class ModelStore:
 
         The just-touched key is never evicted, even when a single model
         exceeds the whole budget — the caller holds a reference anyway,
-        so evicting it would save nothing.
+        so evicting it would save nothing.  Evicting a mapped model
+        drops its mapping: the views go away with the evaluator and the
+        OS reclaims the pages.
         """
         if self.cache_bytes <= 0:
             return
@@ -369,7 +859,7 @@ class ModelStore:
             if oldest == protect:
                 break
             self._resident.pop(oldest)
-            self._resident_bytes -= self._records[oldest].nbytes
+            self._resident_bytes -= self._record_charge(self._records[oldest])
             self._evictions += 1
 
     def resolve(
@@ -420,11 +910,56 @@ class ModelStore:
                         "y_column": key.y_column,
                         "group_by": key.group_by,
                         "type": record.model_type,
+                        "format": getattr(record, "fmt", "pickle"),
                         "record_bytes": record.nbytes,
+                        "mapped_bytes": getattr(record, "mapped_nbytes", 0),
                         "resident": key in self._resident,
                     }
                 )
         return rows
+
+    def record_layout(self, key: ModelKey) -> dict:
+        """Per-record storage layout (for ``store-info`` tooling).
+
+        For mapped records this parses the on-disk segment table and
+        lists every segment's dtype/shape/offset/bytes; for pickle
+        records it reports the opaque payload.  Reads only the record
+        prefix — never the segment region, never the model.
+        """
+        with self._lock:
+            record = self._records.get(key)
+        if record is None:
+            raise ModelNotFoundError(f"no model registered for {key}")
+        fmt = getattr(record, "fmt", "pickle")
+        info = {
+            "format": fmt,
+            "filename": record.filename,
+            "model_type": record.model_type,
+            "record_bytes": record.nbytes,
+            "heap_bytes": self._record_charge(record),
+            "mapped_bytes": getattr(record, "mapped_nbytes", 0),
+        }
+        if fmt != "mmap":
+            return info
+        record_path = self.path / _RECORDS_DIR / record.filename
+        prefix_len = _HEADER_LEN + _META_LEN.size + record.meta_nbytes
+        with open(record_path, "rb") as fh:
+            data = fh.read(prefix_len)
+        _meta_len, meta_blob = _parse_record_prefix(data, record_path)
+        rec_meta = pickle.loads(meta_blob)
+        info["segments"] = [
+            {
+                "name": name,
+                "dtype": dtype_str,
+                "shape": list(shape),
+                "offset": offset,
+                "nbytes": nbytes,
+            }
+            for name, (dtype_str, shape, offset, nbytes) in sorted(
+                rec_meta["segments"].items(), key=lambda kv: kv[1][2]
+            )
+        ]
+        return info
 
     def total_size_bytes(self) -> int:
         """Summed on-disk record payload sizes (space-overhead metric)."""
@@ -438,11 +973,23 @@ class ModelStore:
             return list(self._resident)
 
     def resident_bytes(self) -> int:
+        """Summed heap charges of resident models (the LRU's measure).
+
+        Mapped records contribute only their metadata blobs; their
+        segment bytes are file-backed — see :meth:`stats`'s
+        ``mapped_bytes`` for those.
+        """
         with self._lock:
             return self._resident_bytes
 
     def evict_all(self) -> None:
-        """Drop every resident model; the next touch reloads from disk."""
+        """Drop every resident model; the next touch reloads from disk.
+
+        Mapped models drop their mappings with them (once callers
+        release their own references) — the pages go back to the OS,
+        the files stay until a later :meth:`write` prunes their
+        generation.
+        """
         with self._lock:
             self._evictions += len(self._resident)
             self._resident.clear()
@@ -459,12 +1006,29 @@ class ModelStore:
         return self.path / _QUARANTINE_DIR
 
     def stats(self) -> dict:
-        """Hit/miss/load/eviction counters and residency occupancy."""
+        """Hit/miss/load/eviction counters and residency occupancy.
+
+        ``resident_bytes`` (== ``heap_bytes``) is what the LRU budget
+        meters: unpickled payloads plus mapped records' metadata.
+        ``mapped_bytes`` is the summed segment-region size of resident
+        mapped records — file-backed, OS-reclaimable, shared across
+        forked workers, and therefore *not* charged against the budget.
+        """
         with self._lock:
+            mapped_bytes = 0
+            mapped_resident = 0
+            for key in self._resident:
+                record = self._records.get(key)
+                if record is not None and getattr(record, "fmt", "pickle") == "mmap":
+                    mapped_bytes += record.mapped_nbytes
+                    mapped_resident += 1
             return {
                 "models": len(self._records),
                 "resident": len(self._resident),
                 "resident_bytes": self._resident_bytes,
+                "heap_bytes": self._resident_bytes,
+                "mapped_bytes": mapped_bytes,
+                "mapped_resident": mapped_resident,
                 "budget_bytes": self.cache_bytes,
                 "hits": self._hits,
                 "misses": self._misses,

@@ -1,0 +1,358 @@
+"""Bit-parity and lifecycle tests for the mapped (zero-copy) store format.
+
+The acceptance criterion, asserted directly: a store written with
+``store_format="mmap"`` must answer every aggregate *bit-identically*
+to the same catalog served from pickle records — group-by and scalar,
+univariate and multivariate, through eviction cycles — while loading
+group-by sets as :class:`MappedGroupByModelSet` views over the record
+file and pickling worker segments as path references instead of CSR
+arrays.  Corruption/quarantine and transient-retry semantics from the
+fault-injection seam must carry over unchanged, and rewrites must
+never unlink a record file a live evaluator still has mapped.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+import struct
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import DBEst, DBEstConfig, ModelKey
+from repro.errors import CatalogError, CorruptRecordError
+from repro.serve import (
+    STORE_LOAD,
+    FaultInjector,
+    MappedGroupByModelSet,
+    ModelStore,
+)
+from repro.serve import store as store_mod
+from repro.sql.ast import AggregateCall
+from repro.storage.table import Table
+
+GROUP_KEY = ModelKey.make("traffic", ("x",), "y", "g")
+SCALAR_KEY = ModelKey.make("traffic", ("x",), "y")
+MULTI_KEY = ModelKey.make("traffic", ("x", "z"), "y")
+
+AGGREGATES = [
+    AggregateCall("COUNT", "x"),
+    AggregateCall("SUM", "y"),
+    AggregateCall("AVG", "y"),
+    AggregateCall("VARIANCE", "y"),
+    AggregateCall("PERCENTILE", "x", 0.5),
+]
+RANGES = [
+    {"x": (20.0, 60.0)},
+    {"x": (10.0, 80.0)},
+    {"x": (55.0, 55.0)},
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """Scalar, group-by (with a raw group), and multivariate models —
+    every record shape the mapped format must either map or fall back
+    on."""
+    rng = np.random.default_rng(47)
+    n_groups, rows = 10, 240
+    n = n_groups * rows
+    g = np.repeat(np.arange(n_groups), rows).astype(np.float64)
+    keep = (g != 0) | (np.arange(n) % rows < 10)  # group 0 stays raw
+    g = g[keep]
+    x = rng.uniform(0.0, 100.0, size=g.size)
+    z = rng.uniform(-5.0, 5.0, size=g.size)
+    y = (1.0 + 0.1 * g) * x + 0.5 * z + rng.normal(0.0, 1.0, size=g.size)
+    table = Table({"x": x, "z": z, "y": y, "g": g}, name="traffic")
+    config = DBEstConfig(
+        regressor="plr", integration_points=65, min_group_rows=30,
+        random_seed=47,
+    )
+    engine = DBEst(config=config)
+    engine.register_table(table)
+    engine.build_model("traffic", x="x", y="y", sample_size=g.size,
+                       group_by="g")
+    engine.build_model("traffic", x="x", y="y", sample_size=g.size)
+    multi = DBEst(config=DBEstConfig(
+        regressor="linear", integration_points=65, min_group_rows=30,
+        random_seed=47,
+    ))
+    multi.register_table(table)
+    multi.catalog = engine.catalog
+    multi.build_model("traffic", x=("x", "z"), y="y", sample_size=g.size)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def stores(engine, tmp_path_factory):
+    root = tmp_path_factory.mktemp("stores")
+    pickle_store = ModelStore.write(
+        engine.catalog, root / "pickle", store_format="pickle"
+    )
+    mmap_store = ModelStore.write(
+        engine.catalog, root / "mmap", store_format="mmap"
+    )
+    return pickle_store, mmap_store
+
+
+def _answer(model, aggregate, ranges):
+    from repro.core import answer_aggregate
+
+    if hasattr(model, "answer"):
+        return model.answer(aggregate, ranges)
+    return answer_aggregate(model, aggregate, ranges)
+
+
+def _assert_identical(expected, got):
+    """Bit-exact for floats; group-by dicts compare per group value."""
+    if isinstance(expected, dict):
+        assert set(expected) == set(got)
+        for value in expected:
+            _assert_identical(expected[value], got[value])
+    elif isinstance(expected, float) and np.isnan(expected):
+        assert np.isnan(got)
+    else:
+        assert expected == got
+
+
+class TestBitParity:
+    def test_groupby_loads_mapped_pickle_loads_heap(self, stores):
+        pickle_store, mmap_store = stores
+        assert not isinstance(
+            pickle_store.get(GROUP_KEY), MappedGroupByModelSet
+        )
+        assert isinstance(mmap_store.get(GROUP_KEY), MappedGroupByModelSet)
+        # Scalar column sets have no batched evaluator: pickle fallback
+        # records inside the mmap store.
+        layout = mmap_store.record_layout(SCALAR_KEY)
+        assert layout["format"] == "pickle"
+
+    @pytest.mark.parametrize("key", [GROUP_KEY, SCALAR_KEY, MULTI_KEY])
+    def test_all_aggregates_bit_identical(self, stores, key):
+        pickle_store, mmap_store = stores
+        oracle, mapped = pickle_store.get(key), mmap_store.get(key)
+        for aggregate in AGGREGATES:
+            if key is MULTI_KEY and aggregate.func == "PERCENTILE":
+                continue  # needs a single predicate column
+            for ranges in RANGES:
+                if key is MULTI_KEY:
+                    ranges = dict(ranges, z=(-2.0, 2.0))
+                _assert_identical(
+                    _answer(oracle, aggregate, ranges),
+                    _answer(mapped, aggregate, ranges),
+                )
+
+    def test_non_batched_paths_hydrate_and_match(self, stores):
+        pickle_store, mmap_store = stores
+        oracle, mapped = pickle_store.get(GROUP_KEY), mmap_store.get(GROUP_KEY)
+        aggregate, ranges = AGGREGATES[2], RANGES[0]
+        # Per-group answers go through the hydrated fallback pickle.
+        for value in (0.0, 3.0):  # raw group and modelled group
+            assert mapped.answer_group(
+                value, aggregate, ranges
+            ) == oracle.answer_group(value, aggregate, ranges)
+        _assert_identical(
+            oracle.answer(aggregate, ranges, batched=False),
+            mapped.answer(aggregate, ranges, batched=False),
+        )
+        # Identity delegates match too.
+        assert mapped.group_values == oracle.group_values
+        assert mapped.n_groups == oracle.n_groups
+        assert list(mapped.x_columns) == list(oracle.x_columns)
+
+    def test_eviction_cycle_reloads_bit_identically(self, engine, tmp_path):
+        # A 1-byte budget evicts each model as soon as the next loads.
+        store = ModelStore.write(
+            engine.catalog, tmp_path / "s", cache_bytes=1, store_format="mmap"
+        )
+        aggregate, ranges = AGGREGATES[1], RANGES[0]
+        expected = {
+            key: _answer(engine.catalog.get(key), aggregate, ranges)
+            for key in store.keys()
+        }
+        for _ in range(3):
+            for key in store.keys():
+                _assert_identical(
+                    expected[key], _answer(store.get(key), aggregate, ranges)
+                )
+        assert store.stats()["evictions"] > 0
+
+    def test_worker_segments_pickle_as_references(self, stores):
+        _, mmap_store = stores
+        evaluator = mmap_store.get(GROUP_KEY).batched_evaluator()
+        for segment in evaluator.split(4):
+            payload = pickle.dumps(segment)
+            assert len(payload) < 4096  # path reference, not CSR arrays
+            clone = pickle.loads(payload)
+            for aggregate in AGGREGATES:
+                _assert_identical(
+                    segment.answer(aggregate, RANGES[0]),
+                    clone.answer(aggregate, RANGES[0]),
+                )
+
+    def test_mapped_model_pickles_as_record_path(self, stores):
+        _, mmap_store = stores
+        model = mmap_store.get(GROUP_KEY)
+        clone = pickle.loads(pickle.dumps(model))
+        assert isinstance(clone, MappedGroupByModelSet)
+        _assert_identical(
+            model.answer(AGGREGATES[2], RANGES[0]),
+            clone.answer(AGGREGATES[2], RANGES[0]),
+        )
+
+
+class TestStatsAndLayout:
+    def test_heap_and_mapped_bytes_are_distinguished(self, engine, tmp_path):
+        store = ModelStore.write(
+            engine.catalog, tmp_path / "s", store_format="mmap"
+        )
+        store.get(GROUP_KEY)
+        stats = store.stats()
+        record = store.record_layout(GROUP_KEY)
+        assert stats["heap_bytes"] == stats["resident_bytes"]
+        assert stats["mapped_resident"] == 1
+        assert stats["mapped_bytes"] == record["mapped_bytes"] > 0
+        # The LRU charges the metadata blob only — no double-counting
+        # of file-backed pages.
+        assert record["heap_bytes"] < record["mapped_bytes"]
+        assert stats["heap_bytes"] < stats["mapped_bytes"]
+
+    def test_record_layout_lists_aligned_segments(self, stores):
+        _, mmap_store = stores
+        layout = mmap_store.record_layout(GROUP_KEY)
+        assert layout["format"] == "mmap"
+        names = [seg["name"] for seg in layout["segments"]]
+        assert "__fallback__" in names
+        assert any(name.startswith("m/") for name in names)
+        offsets = [seg["offset"] for seg in layout["segments"]]
+        assert offsets == sorted(offsets)
+        assert all(offset % 64 == 0 for offset in offsets)
+        total = sum(seg["nbytes"] for seg in layout["segments"])
+        assert total <= layout["mapped_bytes"] <= layout["record_bytes"]
+
+    def test_summary_reports_format(self, stores):
+        _, mmap_store = stores
+        formats = {
+            (row["type"], row["format"]) for row in mmap_store.summary()
+        }
+        assert ("GroupByModelSet", "mmap") in formats
+        assert ("ColumnSetModel", "pickle") in formats
+
+
+class TestFaultSemantics:
+    def test_transient_errors_retry_then_map(self, engine, tmp_path):
+        faults = FaultInjector(seed=3)
+        faults.inject(STORE_LOAD, error=OSError("blip"), times=2)
+        ModelStore.write(engine.catalog, tmp_path / "s", store_format="mmap")
+        store = ModelStore(
+            tmp_path / "s", faults=faults, retries=2, retry_backoff_ms=1
+        )
+        assert isinstance(store.get(GROUP_KEY), MappedGroupByModelSet)
+        assert store.stats()["retries"] == 2
+        assert store.stats()["quarantined"] == 0
+
+    def test_injected_corruption_quarantines(self, engine, tmp_path):
+        faults = FaultInjector(seed=3)
+        faults.inject(STORE_LOAD, corrupt=True, times=1)
+        ModelStore.write(engine.catalog, tmp_path / "s", store_format="mmap")
+        store = ModelStore(tmp_path / "s", faults=faults)
+        with pytest.raises(CorruptRecordError, match="quarantined"):
+            store.get(GROUP_KEY)
+        assert store.quarantined_keys() == [GROUP_KEY]
+        assert list(store.quarantine_dir.glob("*.model"))
+
+    def test_on_disk_meta_corruption_fails_crc(self, engine, tmp_path):
+        store = ModelStore.write(
+            engine.catalog, tmp_path / "s", store_format="mmap"
+        )
+        record = store._records[GROUP_KEY]
+        record_path = store.path / "records" / record.filename
+        data = bytearray(record_path.read_bytes())
+        data[store_mod._HEADER_LEN + 8 + 5] ^= 0xFF  # inside the meta blob
+        record_path.write_bytes(bytes(data))
+        with pytest.raises(CorruptRecordError):
+            store.get(GROUP_KEY)
+        assert store.quarantined_keys() == [GROUP_KEY]
+
+    def test_unknown_record_version_names_versions(self, engine, tmp_path):
+        store = ModelStore.write(
+            engine.catalog, tmp_path / "s", store_format="mmap"
+        )
+        record = store._records[GROUP_KEY]
+        record_path = store.path / "records" / record.filename
+        data = bytearray(record_path.read_bytes())
+        struct.pack_into("<H", data, 8, 99)  # version field after magic
+        record_path.write_bytes(bytes(data))
+        with pytest.raises(CorruptRecordError, match="99"):
+            store.get(GROUP_KEY)
+
+
+class TestGenerationLifetime:
+    def test_rewrite_keeps_files_mapped_by_live_evaluators(
+        self, engine, tmp_path
+    ):
+        path = tmp_path / "s"
+        store = ModelStore.write(engine.catalog, path, store_format="mmap")
+        model = store.get(GROUP_KEY)
+        first = store._records[GROUP_KEY].filename
+        mapped_path = path / "records" / first
+        before = _answer(model, AGGREGATES[2], RANGES[0])
+        # Rewrite: new generation, but the mapped file must survive —
+        # this process still answers (and pickles worker references)
+        # through it.
+        store = ModelStore.write(engine.catalog, path, store_format="mmap")
+        second = store._records[GROUP_KEY].filename
+        assert second != first
+        assert mapped_path.exists()
+        _assert_identical(before, _answer(model, AGGREGATES[2], RANGES[0]))
+        # Once every consumer is gone the next write prunes the file.
+        del model
+        gc.collect()
+        ModelStore.write(engine.catalog, path, store_format="mmap")
+        assert not mapped_path.exists()
+
+    def test_repacking_a_mapped_store_hydrates_first(self, engine, tmp_path):
+        first = ModelStore.write(
+            engine.catalog, tmp_path / "a", store_format="mmap"
+        )
+        loaded = {key: first.get(key) for key in first.keys()}
+        # Writing mapped models to a *new* store must not pickle the
+        # path-reference wrappers (which would dangle once ``a`` is
+        # rewritten); it hydrates and repacks fresh records.
+        second = ModelStore.write(loaded, tmp_path / "b", store_format="mmap")
+        model = second.get(GROUP_KEY)
+        assert isinstance(model, MappedGroupByModelSet)
+        record_path = Path(model._record_path)
+        assert record_path.parent == tmp_path / "b" / "records"
+        _assert_identical(
+            _answer(first.get(GROUP_KEY), AGGREGATES[1], RANGES[0]),
+            _answer(model, AGGREGATES[1], RANGES[0]),
+        )
+
+
+class TestConfigAndEngine:
+    def test_store_format_validated(self, engine, tmp_path):
+        with pytest.raises(CatalogError, match="store_format"):
+            ModelStore.write(
+                engine.catalog, tmp_path / "s", store_format="arrow"
+            )
+        with pytest.raises(Exception, match="store_format"):
+            DBEstConfig(store_format="arrow")
+
+    def test_config_default_routes_write(self, engine, tmp_path):
+        config = DBEstConfig(store_format="mmap")
+        store = ModelStore.write(engine.catalog, tmp_path / "s", config=config)
+        assert isinstance(store.get(GROUP_KEY), MappedGroupByModelSet)
+
+    def test_engine_pack_store_and_serve(self, engine, tmp_path):
+        store = engine.pack_store(tmp_path / "s", store_format="mmap")
+        serving = DBEst(config=engine.config)
+        serving.catalog = store
+        sql = ("SELECT AVG(y) FROM traffic WHERE x BETWEEN 20 AND 60 "
+               "GROUP BY g;")
+        engine.register_table  # fixture engine owns the table
+        expected = engine.execute(sql)
+        got = serving.execute(sql)
+        assert expected.values == got.values
