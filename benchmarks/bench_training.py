@@ -17,6 +17,12 @@ which amplifies coefficient rounding by the data's magnitude) and
 recorded to ``BENCH_training.json`` at the repo root so the performance
 trajectory is tracked across PRs.
 
+The nonlinear legs (tree / gboost / xgboost) time the level-synchronous
+forest kernel (:mod:`repro.core.batched_forest`) against the chunked
+``map_parallel`` per-group fits it replaced: each must be >= 3x faster
+with **bit-identical** node arrays (feature / threshold / left / right /
+value across every boosting round — exact equality, not a tolerance).
+
 Run directly (``python benchmarks/bench_training.py``) or through pytest
 (``pytest benchmarks/bench_training.py``; marked slow).
 """
@@ -38,16 +44,19 @@ RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_training.json"
 N_GROUPS = 200
 ROWS_PER_GROUP = 40
 SPEEDUP_FLOOR = 5.0
+FOREST_SPEEDUP_FLOOR = 3.0
 PARITY_BOUND = 1e-12
 RESIDUAL_PARITY_BOUND = 1e-9
 REPEATS = 3
+FOREST_REPEATS = 1  # loop-path booster fits run seconds per build
 
 # plr exercises the full stacked pipeline (segmented quantile knots,
 # bucketed normal-equation solves, batched residual state); linear is the
-# minimal stacked design.  Nonlinear regressors train through the same
-# per-group fits on either path, so timing them here would mostly measure
-# the fits themselves.
+# minimal stacked design.
 REGRESSORS = ("plr", "linear")
+# Nonlinear legs time the level-synchronous forest kernel against the
+# chunked per-group fits; their node arrays must match exactly.
+FOREST_REGRESSORS = ("tree", "gboost", "xgboost")
 
 
 def _make_workload(seed: int = 7):
@@ -73,11 +82,11 @@ def _train(regressor: str, batched: bool, seed: int = 7) -> GroupByModelSet:
     )
 
 
-def _time_training(regressor: str, batched: bool) -> float:
-    """Best-of-REPEATS wall seconds for one full model-set build."""
+def _time_training(regressor: str, batched: bool, repeats: int = REPEATS) -> float:
+    """Best-of-``repeats`` wall seconds for one full model-set build."""
     _train(regressor, batched)  # warm-up (imports, allocator, BLAS)
     best = float("inf")
-    for _ in range(REPEATS):
+    for _ in range(repeats):
         start = time.perf_counter()
         _train(regressor, batched)
         best = min(best, time.perf_counter() - start)
@@ -138,6 +147,44 @@ def max_divergences(
     return worst, residual_worst
 
 
+def _node_arrays(regressor):
+    """Every fitted node array of a tree/booster, in a fixed order."""
+    if hasattr(regressor, "_nodes"):  # DecisionTreeRegressor
+        return [regressor._nodes[key]
+                for key in ("feature", "threshold", "left", "right", "value")]
+    arrays = [np.asarray([regressor._base])]
+    for tree in regressor._trees:
+        if hasattr(tree, "_nodes"):  # gboost stages
+            arrays.extend(tree._nodes[key]
+                          for key in ("feature", "threshold", "left",
+                                      "right", "value"))
+        else:  # xgboost rounds
+            arrays.extend(getattr(tree, attr)
+                          for attr in ("_feature_arr", "_threshold_arr",
+                                       "_left_arr", "_right_arr",
+                                       "_value_arr"))
+    return arrays
+
+
+def forest_nodes_identical(
+    batched: GroupByModelSet, scalar: GroupByModelSet
+) -> bool:
+    """Exact (bitwise) equality of every group's fitted node arrays."""
+    if set(batched.models) != set(scalar.models):
+        return False
+    for value, expected in scalar.models.items():
+        got_arrays = _node_arrays(batched.models[value].regressor)
+        exp_arrays = _node_arrays(expected.regressor)
+        if len(got_arrays) != len(exp_arrays):
+            return False
+        for got_arr, exp_arr in zip(got_arrays, exp_arrays):
+            if got_arr.dtype != exp_arr.dtype or not np.array_equal(
+                got_arr, exp_arr
+            ):
+                return False
+    return True
+
+
 def run_benchmark() -> dict:
     per_regressor = {}
     loop_total = batched_total = 0.0
@@ -156,6 +203,28 @@ def run_benchmark() -> dict:
             "loop_seconds": loop_s,
             "batched_seconds": batched_s,
             "speedup": loop_s / batched_s,
+            "max_param_divergence": divergence,
+            "max_residual_divergence": residual_divergence,
+        }
+    for regressor in FOREST_REGRESSORS:
+        loop_s = _time_training(regressor, batched=False,
+                                repeats=FOREST_REPEATS)
+        batched_s = _time_training(regressor, batched=True,
+                                   repeats=FOREST_REPEATS)
+        batched_set = _train(regressor, batched=True)
+        scalar_set = _train(regressor, batched=False)
+        divergence, residual_divergence = max_divergences(
+            batched_set, scalar_set
+        )
+        max_divergence = max(max_divergence, divergence)
+        max_residual = max(max_residual, residual_divergence)
+        per_regressor[regressor] = {
+            "loop_seconds": loop_s,
+            "batched_seconds": batched_s,
+            "speedup": loop_s / batched_s,
+            "nodes_identical": forest_nodes_identical(
+                batched_set, scalar_set
+            ),
             "max_param_divergence": divergence,
             "max_residual_divergence": residual_divergence,
         }
@@ -190,23 +259,41 @@ def test_batched_training_speedup_and_parity():
         )
         + ")"
     )
+    for name in FOREST_REGRESSORS:
+        row = record["per_regressor"][name]
+        assert row["nodes_identical"], f"{name}: node arrays diverged"
+        assert row["speedup"] >= FOREST_SPEEDUP_FLOOR, (
+            f"forest kernel only {row['speedup']:.1f}x faster for {name}; "
+            f"need >= {FOREST_SPEEDUP_FLOOR}x"
+        )
 
 
 def main() -> int:
     record = run_benchmark()
     print(f"batched training benchmark ({N_GROUPS} groups, "
-          f"{ROWS_PER_GROUP} rows/group, best of {REPEATS})")
+          f"{ROWS_PER_GROUP} rows/group, best of {REPEATS}; "
+          f"forest legs best of {FOREST_REPEATS})")
     for name, row in record["per_regressor"].items():
+        nodes = ""
+        if "nodes_identical" in row:
+            nodes = ("   nodes identical" if row["nodes_identical"]
+                     else "   NODES DIVERGED")
         print(
             f"  {name:<8} loop {row['loop_seconds'] * 1e3:8.2f} ms   "
             f"batched {row['batched_seconds'] * 1e3:7.2f} ms   "
             f"{row['speedup']:5.1f}x   param/residual divergence "
             f"{row['max_param_divergence']:.1e}/"
-            f"{row['max_residual_divergence']:.1e}"
+            f"{row['max_residual_divergence']:.1e}{nodes}"
         )
     print(f"overall speedup: {record['overall_speedup']:.1f}x "
-          f"(floor {SPEEDUP_FLOOR}x); record written to {RESULT_PATH}")
-    return 0 if record["overall_speedup"] >= SPEEDUP_FLOOR else 1
+          f"(floor {SPEEDUP_FLOOR}x, forest legs {FOREST_SPEEDUP_FLOOR}x); "
+          f"record written to {RESULT_PATH}")
+    ok = record["overall_speedup"] >= SPEEDUP_FLOOR and all(
+        record["per_regressor"][name]["nodes_identical"]
+        and record["per_regressor"][name]["speedup"] >= FOREST_SPEEDUP_FLOOR
+        for name in FOREST_REGRESSORS
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

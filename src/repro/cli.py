@@ -18,8 +18,11 @@ serving loop, and health checks for the batched engine:
   covering both sides of the batched engine: *training* (batched trainer
   vs the per-group loop, wall time + model-parameter parity) and
   *querying* (batched evaluator vs the scalar loop, wall time + answer
-  parity), each run for 1-D predicates and for a MULTI leg with a
-  two-column predicate exercising the product-kernel path, plus a SERVE
+  parity), each run for 1-D predicates, for a MULTI leg with a
+  two-column predicate exercising the product-kernel path, and for a
+  FOREST leg training a boosted-tree set through the level-synchronous
+  forest kernel (node arrays must match the per-group fits bit for
+  bit), plus a SERVE
   leg checking that coalesced/cached serving answers match sequential
   ``execute`` and a FAULT leg serving the same workload from a model
   store under injected faults (10% load latency, 1% corruption) where
@@ -746,6 +749,39 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
     train_worst = max(train_worst, multi_train_worst)
     worst = max(worst, multi_worst)
 
+    # FOREST leg: a boosted-tree model set through the level-synchronous
+    # forest kernel vs the per-group fits (node thresholds/values must
+    # match bit-for-bit; the divergence printed is over those arrays).
+    forest_config = DBEstConfig(
+        regressor="gboost", min_group_rows=min(30, args.rows),
+        integration_points=65, random_seed=args.seed,
+    )
+
+    def _stage_nodes(model, key):
+        return np.concatenate(
+            [tree._nodes[key] for tree in model.regressor._trees]
+        )
+
+    forest_train_worst, forest_worst = _smoke_leg(
+        "FOREST-",
+        dict(
+            sample_x=x, sample_y=y, sample_groups=groups,
+            full_groups=groups, full_x=x, full_y=y,
+            table_name="smoke3", x_columns=("x",), y_column="y",
+            group_column="g", config=forest_config,
+        ),
+        {"x": (20.0, 60.0)},
+        lambda batched, scalar: (
+            (batched.density._centres, scalar.density._centres),
+            (batched.density._weights, scalar.density._weights),
+            (_stage_nodes(batched, "threshold"),
+             _stage_nodes(scalar, "threshold")),
+            (_stage_nodes(batched, "value"), _stage_nodes(scalar, "value")),
+        ),
+    )
+    train_worst = max(train_worst, forest_train_worst)
+    worst = max(worst, forest_worst)
+
     # SERVE leg: coalesced/cached serving vs sequential execute.
     serve_worst = _smoke_serve_leg(args)
 
@@ -769,9 +805,10 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
               "beyond 1e-9", file=sys.stderr)
         return 2
     print("ok: batched training and evaluation match the scalar oracles "
-          "(1-D and multivariate), coalesced serving matches sequential "
-          "execute, the zero-copy mapped store matches the in-memory "
-          "catalog, and serving stayed available under injected faults")
+          "(1-D, multivariate and forest), coalesced serving matches "
+          "sequential execute, the zero-copy mapped store matches the "
+          "in-memory catalog, and serving stayed available under injected "
+          "faults")
     return 0
 
 

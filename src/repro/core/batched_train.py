@@ -795,12 +795,34 @@ def _train_batched_models_nd(
             residual_sq *= residual_sq
             residual_global = np.add.reduceat(residual_sq, offsets[:-1]) / counts
         else:
-            # "plr" raises inside the per-group fit exactly as the scalar
-            # trainer does (piecewise-linear splines are 1-D only); tree,
-            # boosted and ensemble regressors have no stacked
-            # multivariate closed form.
-            generic = True
-            regressors = _fit_generic_regressors(xmat, ys, offsets, config)
+            forest = None
+            if getattr(config, "batched_forest", True):
+                from repro.core.batched_forest import fit_forest_regressors
+
+                forest = fit_forest_regressors(xmat, ys, offsets, config)
+            if forest is None:
+                # "plr" raises inside the per-group fit exactly as the
+                # scalar trainer does (piecewise-linear splines are 1-D
+                # only); with the forest kernel opted out, tree/boosted/
+                # ensemble regressors fit per group as the parity oracle.
+                generic = True
+                regressors = _fit_generic_regressors(xmat, ys, offsets, config)
+            else:
+                regressors, forest_pred = forest
+                if forest_pred is None:
+                    # Ensembles route prediction through a selected
+                    # constituent; their residual pass runs per group.
+                    generic = True
+                else:
+                    # Multivariate models keep only the global residual
+                    # scalar; the kernel's in-sample predictions are
+                    # bit-identical to regressor.predict on each slice.
+                    residual_sq = ys - forest_pred
+                    residual_sq *= residual_sq
+                    for i in range(modelled.size):
+                        residual_global[i] = float(
+                            np.mean(residual_sq[offsets[i]:offsets[i + 1]])
+                        )
 
     models: dict = {}
     values = (
@@ -936,8 +958,38 @@ def train_batched_models(
                 _fit_residual_states(xs, offsets, xs_sorted, residual_sq)
             )
         else:
-            generic = True
-            regressors = _fit_generic_regressors(xs, ys, offsets, config)
+            forest = None
+            if getattr(config, "batched_forest", True):
+                from repro.core.batched_forest import fit_forest_regressors
+
+                forest = fit_forest_regressors(
+                    xs[:, None], ys, offsets, config
+                )
+            if forest is None:
+                generic = True
+                regressors = _fit_generic_regressors(xs, ys, offsets, config)
+            else:
+                regressors, forest_pred = forest
+                if forest_pred is None:
+                    # Ensembles route prediction through a selected
+                    # constituent; their residual pass runs per group.
+                    generic = True
+                else:
+                    # The kernel's in-sample predictions are bit-identical
+                    # to regressor.predict on each group slice, so the
+                    # stacked residual pass applies as-is.
+                    residual_sq = ys - forest_pred
+                    residual_sq *= residual_sq
+                    if xs_sorted is None:
+                        group_ids = np.repeat(
+                            np.arange(modelled.size), counts
+                        )
+                        xs_sorted = xs[np.lexsort((xs, group_ids))]
+                    residual_edges, residual_var, residual_global = (
+                        _fit_residual_states(
+                            xs, offsets, xs_sorted, residual_sq
+                        )
+                    )
 
     models: dict = {}
     values = (

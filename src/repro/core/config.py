@@ -64,8 +64,18 @@ class DBEstConfig:
         sample, all KDEs — 1-D and multivariate product kernels — from
         segmented reductions and one global bincount, all
         OLS/piecewise-linear regressors from stacked normal equations.
-        Nonlinear regressors keep batched density fitting but fit per
-        group through chunked ``map_parallel``.
+        Nonlinear regressors keep batched density fitting and train
+        through the level-synchronous forest kernel (see
+        ``batched_forest``).
+    batched_forest:
+        Train nonlinear regressors (tree / gboost / xgboost / ensemble)
+        with the level-synchronous histogram-forest kernel
+        (:mod:`repro.core.batched_forest`): all groups' trees grow one
+        depth level at a time through shared bincount/cumsum passes,
+        producing node arrays bit-identical to per-group fits.  Off
+        routes them through the chunked per-group ``map_parallel``
+        fallback (the parity oracle).  Only consulted when
+        ``batched_train`` is on.
     serve_cache_bytes:
         Resident-model byte budget of the lazy on-disk model store
         (:class:`~repro.serve.store.ModelStore`).  Loaded models are
@@ -147,6 +157,7 @@ class DBEstConfig:
     parallel_mode: str = "process"
     batched_groupby: bool = True
     batched_train: bool = True
+    batched_forest: bool = True
     serve_cache_bytes: int = 256 << 20
     store_format: str = "pickle"
     serve_deadline_ms: float | None = None

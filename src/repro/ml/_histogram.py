@@ -13,6 +13,26 @@ import numpy as np
 
 from repro.errors import ModelTrainingError
 
+# Element budget for blocked broadcast comparisons (rows x features x
+# edges); matches the batched trainer's chunking budget.
+_BLOCK_ELEMENTS = 1 << 22
+
+
+def sequential_sum(values: np.ndarray) -> float:
+    """Strict left-to-right float64 sum of a 1-D array.
+
+    ``ndarray.sum`` uses pairwise accumulation whose grouping depends on
+    the array length, so two reductions over the same values in different
+    layouts can differ in the last ulp.  The batched forest fitter
+    (:mod:`repro.core.batched_forest`) accumulates node statistics with
+    ``np.bincount``, which adds strictly in input order; taking the last
+    element of a cumulative sum reproduces that exact order here, keeping
+    scalar and batched fits bit-identical.
+    """
+    if values.shape[0] == 0:
+        return 0.0
+    return float(np.cumsum(values)[-1])
+
 
 def compute_bin_edges(x: np.ndarray, max_bins: int) -> np.ndarray:
     """Quantile bin edges (interior boundaries only) for one feature.
@@ -34,7 +54,16 @@ def bin_codes(x: np.ndarray, edges: np.ndarray) -> np.ndarray:
 
 
 class BinnedFeatures:
-    """Pre-binned view of an (n, d) feature matrix."""
+    """Pre-binned view of an (n, d) feature matrix.
+
+    All features are binned in one pass: a single ``np.quantile`` call
+    over axis 0 computes every column's candidate edges, consecutive
+    duplicates and edges at each column's maximum are masked out
+    vectorised, and bin codes come from one blocked broadcast comparison
+    (``#edges < x`` equals ``searchsorted(edges, x, side="left")``, with
+    exact comparisons so ties land in the same bin).  The edges are
+    bit-identical to per-column :func:`compute_bin_edges` calls.
+    """
 
     def __init__(self, X: np.ndarray, max_bins: int = 256) -> None:
         X = np.asarray(X, dtype=np.float64)
@@ -47,12 +76,26 @@ class BinnedFeatures:
         if not np.all(np.isfinite(X)):
             raise ModelTrainingError("feature matrix contains non-finite values")
         self.n_rows, self.n_features = X.shape
-        self.edges: list[np.ndarray] = []
-        codes = np.empty((self.n_rows, self.n_features), dtype=np.int32)
-        for j in range(self.n_features):
-            edges = compute_bin_edges(X[:, j], max_bins)
-            self.edges.append(edges)
-            codes[:, j] = bin_codes(X[:, j], edges)
+        n, d = X.shape
+        quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+        quant = np.quantile(X, quantiles, axis=0)  # (Q, d), sorted per column
+        keep = np.ones(quant.shape, dtype=bool)
+        keep[1:] = quant[1:] != quant[:-1]
+        keep &= quant < X.max(axis=0)[None, :]
+        edge_counts = keep.sum(axis=0)
+        self.edges: list[np.ndarray] = [
+            np.ascontiguousarray(quant[keep[:, j], j]) for j in range(d)
+        ]
+        width = int(edge_counts.max()) if d else 0
+        padded = np.full((d, width), np.inf)
+        pos = np.cumsum(keep, axis=0) - 1
+        qi, ji = np.nonzero(keep)
+        padded[ji, pos[qi, ji]] = quant[qi, ji]
+        codes = np.empty((n, d), dtype=np.int32)
+        block = max(1, _BLOCK_ELEMENTS // max(d * width, 1))
+        for r0 in range(0, n, block):
+            r1 = min(r0 + block, n)
+            codes[r0:r1] = (padded[None, :, :] < X[r0:r1, :, None]).sum(axis=2)
         self.codes = codes
 
     def n_bins(self, feature: int) -> int:

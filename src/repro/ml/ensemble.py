@@ -101,7 +101,15 @@ class EnsembleRegressor:
         self.models_ = {name: factory() for name, factory in self._factories.items()}
         for model in self.models_.values():
             model.fit(x, y)
+        return self._fit_selector(x, y)
 
+    def _fit_selector(self, x: np.ndarray, y: np.ndarray) -> "EnsembleRegressor":
+        """Label random range queries and train the per-range selector.
+
+        Runs on ``self.models_`` already fitted to ``(x, y)`` — the tail
+        of the 1-D :meth:`fit` path, split out so
+        :meth:`from_fitted_constituents` can reuse it verbatim.
+        """
         lo, hi = float(x.min()), float(x.max())
         self._domain = (lo, hi)
         rng = np.random.default_rng(self.random_state)
@@ -156,6 +164,17 @@ class EnsembleRegressor:
             except ModelTrainingError:
                 continue  # e.g. PLR rejects multivariate input
             self.models_[name] = model
+        return self._finish_multivariate(X, y)
+
+    def _finish_multivariate(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> "EnsembleRegressor":
+        """Pick the global-best constituent and record multivariate domain.
+
+        The tail of :meth:`_fit_multivariate`, run on ``self.models_``
+        already fitted to ``(X, y)``; split out so
+        :meth:`from_fitted_constituents` can reuse it verbatim.
+        """
         if not self.models_:
             raise ModelTrainingError("no constituent accepted multivariate input")
         errors = {
@@ -169,6 +188,42 @@ class EnsembleRegressor:
             for j in range(X.shape[1])
         )
         return self
+
+    @classmethod
+    def from_fitted_constituents(
+        cls,
+        models: Mapping[str, object],
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        constituents: Mapping[str, Callable[[], object]] | None = None,
+        n_eval_queries: int = 60,
+        min_eval_points: int = 5,
+        random_state: int | None = None,
+    ) -> "EnsembleRegressor":
+        """An ensemble from constituents fitted elsewhere on ``(X, y)``.
+
+        The batched forest trainer fits each group's tree/booster
+        constituents through the shared level-synchronous kernel and the
+        PLR constituent per group; this installs them (in the same order
+        :meth:`fit` would create them) and runs the identical selector /
+        best-constituent stage, so the result is indistinguishable from a
+        scalar :meth:`fit` on the same rows.
+        """
+        ens = cls(
+            constituents=constituents,
+            n_eval_queries=n_eval_queries,
+            min_eval_points=min_eval_points,
+            random_state=random_state,
+        )
+        x = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        ens.models_ = dict(models)
+        if x.ndim == 2:
+            if x.shape[1] != 1:
+                return ens._finish_multivariate(x, y)
+            x = x[:, 0]
+        return ens._fit_selector(x, y)
 
     # -- prediction --------------------------------------------------------
 

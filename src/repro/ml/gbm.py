@@ -99,6 +99,36 @@ class GradientBoostingRegressor:
             self._trees.append(tree)
         return self
 
+    @classmethod
+    def from_fit_state(
+        cls,
+        base: float,
+        trees: list[DecisionTreeRegressor],
+        *,
+        learning_rate: float = 0.1,
+        max_depth: int = 4,
+        min_samples_leaf: int = 10,
+        max_bins: int = 256,
+        random_state: int | None = None,
+    ) -> "GradientBoostingRegressor":
+        """A fitted booster from pre-built per-stage trees.
+
+        The batched forest fitter grows every group's boosting rounds in
+        shared level-synchronous passes; this rebuilds a regressor
+        identical to a scalar :meth:`fit` on the same rows.
+        """
+        model = cls(
+            n_estimators=len(trees),
+            learning_rate=learning_rate,
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            max_bins=max_bins,
+            random_state=random_state,
+        )
+        model._base = float(base)
+        model._trees = list(trees)
+        return model
+
     @property
     def is_fitted(self) -> bool:
         return bool(self._trees)

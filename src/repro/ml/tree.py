@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ModelTrainingError
-from repro.ml._histogram import BinnedFeatures
+from repro.ml._histogram import BinnedFeatures, sequential_sum
 
 
 @dataclass
@@ -121,10 +121,14 @@ class DecisionTreeRegressor:
     ) -> None:
         node_y = y[indices]
         n = indices.shape[0]
-        tree.value[node] = float(node_y.mean())
+        # Sequential (not pairwise) node sum: the batched forest fitter
+        # accumulates the same statistic with np.bincount, which adds in
+        # input order; matching that order keeps both paths bit-identical.
+        node_sum = sequential_sum(node_y)
+        tree.value[node] = node_sum / n
         if depth >= self.max_depth or n < self.min_samples_split:
             return
-        split = self._best_split(binned, node_y, indices)
+        split = self._best_split(binned, node_y, indices, node_sum)
         if split is None:
             return
         feature, split_bin = split
@@ -146,10 +150,10 @@ class DecisionTreeRegressor:
         binned: BinnedFeatures,
         node_y: np.ndarray,
         indices: np.ndarray,
+        total_sum: float,
     ) -> tuple[int, int] | None:
         """Best (feature, split_bin) by variance reduction, or None."""
         n = indices.shape[0]
-        total_sum = float(node_y.sum())
         parent_score = total_sum * total_sum / n
         best_gain = 1e-12
         best: tuple[int, int] | None = None
@@ -181,6 +185,34 @@ class DecisionTreeRegressor:
                 best_gain = gain
                 best = (feature, split_bin)
         return best
+
+    @classmethod
+    def from_fit_state(
+        cls,
+        nodes: dict[str, np.ndarray],
+        n_features: int,
+        *,
+        max_depth: int = 6,
+        min_samples_leaf: int = 10,
+        min_samples_split: int = 20,
+        max_bins: int = 256,
+    ) -> "DecisionTreeRegressor":
+        """A fitted tree from pre-built flat node arrays.
+
+        The batched forest fitter (:mod:`repro.core.batched_forest`)
+        grows every group's tree level-synchronously and emits the same
+        arrays :meth:`_FlatTree.finalize` produces; this wraps them in a
+        regressor indistinguishable from a scalar :meth:`fit`.
+        """
+        tree = cls(
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            min_samples_split=min_samples_split,
+            max_bins=max_bins,
+        )
+        tree._nodes = nodes
+        tree.n_features = n_features
+        return tree
 
     # -- prediction ----------------------------------------------------------
 

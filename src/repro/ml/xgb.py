@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import InvalidParameterError, ModelTrainingError
-from repro.ml._histogram import BinnedFeatures
+from repro.ml._histogram import BinnedFeatures, sequential_sum
 
 
 class _XGBTree:
@@ -72,8 +72,10 @@ class _XGBTree:
         indices: np.ndarray,
         depth: int,
     ) -> None:
-        g_sum = float(grad[indices].sum())
-        h_sum = float(hess[indices].sum())
+        # Sequential (not pairwise) node sums: matches the bincount
+        # accumulation order of the batched forest fitter bit-for-bit.
+        g_sum = sequential_sum(grad[indices])
+        h_sum = sequential_sum(hess[indices])
         self.value[node] = -g_sum / (h_sum + self.reg_lambda)
         if depth >= self.max_depth or h_sum < 2 * self.min_child_weight:
             return
@@ -132,6 +134,31 @@ class _XGBTree:
                 best_gain = float(gain[split_bin])
                 best = (feature, split_bin)
         return best
+
+    @classmethod
+    def from_arrays(
+        cls,
+        nodes: dict[str, np.ndarray],
+        max_depth: int,
+        min_child_weight: float,
+        reg_lambda: float,
+        gamma: float,
+    ) -> "_XGBTree":
+        """A fitted tree from flat node arrays (batched forest fitter)."""
+        tree = cls(max_depth, min_child_weight, reg_lambda, gamma)
+        tree.feature = nodes["feature"].tolist()
+        tree.threshold = nodes["threshold"].tolist()
+        tree.left = nodes["left"].tolist()
+        tree.right = nodes["right"].tolist()
+        tree.value = nodes["value"].tolist()
+        tree._feature_arr = np.ascontiguousarray(nodes["feature"], dtype=np.int32)
+        tree._threshold_arr = np.ascontiguousarray(
+            nodes["threshold"], dtype=np.float64
+        )
+        tree._left_arr = np.ascontiguousarray(nodes["left"], dtype=np.int32)
+        tree._right_arr = np.ascontiguousarray(nodes["right"], dtype=np.int32)
+        tree._value_arr = np.ascontiguousarray(nodes["value"], dtype=np.float64)
+        return tree
 
     def predict(self, X: np.ndarray, max_depth: int) -> np.ndarray:
         position = np.zeros(X.shape[0], dtype=np.int32)
@@ -234,6 +261,46 @@ class XGBRegressor:
             prediction += self.learning_rate * tree.predict(X, self.max_depth)
             self._trees.append(tree)
         return self
+
+    @classmethod
+    def from_fit_state(
+        cls,
+        base: float,
+        tree_nodes: list[dict[str, np.ndarray]],
+        *,
+        learning_rate: float = 0.1,
+        max_depth: int = 4,
+        reg_lambda: float = 1.0,
+        gamma: float = 0.0,
+        min_child_weight: float = 5.0,
+        max_bins: int = 256,
+        random_state: int | None = None,
+    ) -> "XGBRegressor":
+        """A fitted booster from per-stage flat node arrays.
+
+        The batched forest fitter grows every group's boosting rounds in
+        shared level-synchronous passes and hands each group its slice of
+        the stacked node arrays; this rebuilds a regressor identical to a
+        scalar :meth:`fit` on the same rows.
+        """
+        model = cls(
+            n_estimators=len(tree_nodes),
+            learning_rate=learning_rate,
+            max_depth=max_depth,
+            reg_lambda=reg_lambda,
+            gamma=gamma,
+            min_child_weight=min_child_weight,
+            max_bins=max_bins,
+            random_state=random_state,
+        )
+        model._base = float(base)
+        model._trees = [
+            _XGBTree.from_arrays(
+                nodes, max_depth, min_child_weight, reg_lambda, gamma
+            )
+            for nodes in tree_nodes
+        ]
+        return model
 
     @property
     def is_fitted(self) -> bool:

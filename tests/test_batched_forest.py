@@ -1,0 +1,378 @@
+"""Parity suite: level-synchronous forest training vs per-group fits.
+
+The chunked per-group fit path (``_fit_generic_regressors``) is the
+reference oracle; the batched forest kernel
+(:mod:`repro.core.batched_forest`) must produce **bit-identical** node
+arrays — feature / threshold / left / right / value, same dtypes, same
+DFS order — for every tree, every boosting round, every constituent,
+across 1-D and multivariate fits, every depth, and the degenerate
+groups (constant features, single rows, sub-split-size groups) that
+stress the stop rules.  Routing is pinned too: the default train path
+must never fall back to the per-group loop for forest regressors, and
+``batched_forest=False`` must restore the chunked oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DBEstConfig, GroupByModelSet
+from repro.core.batched_forest import (
+    _compute_bins,
+    _fit_cart_forest,
+    _fit_gboost_forest,
+    _fit_xgb_forest,
+    _slice_nodes,
+    fit_forest_regressors,
+)
+from repro.ml._histogram import BinnedFeatures
+from repro.ml.ensemble import EnsembleRegressor
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.xgb import XGBRegressor
+
+NODE_KEYS = ("feature", "threshold", "left", "right", "value")
+
+# Group sizes chosen to stress every stop rule: plenty of rows, barely
+# above min_samples_split, a single row, three rows, and one constant-x
+# group (no splittable bins at all).
+GROUP_SIZES = (150, 80, 45, 60, 1, 3, 200, 30)
+CONSTANT_GROUP = 3
+
+
+def make_flat(d: int = 1, seed: int = 3):
+    """Flat group-major (x2d, y, offsets) covering the degenerate groups."""
+    rng = np.random.default_rng(seed)
+    counts = np.asarray(GROUP_SIZES, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    n = int(offsets[-1])
+    x2d = rng.uniform(0.0, 100.0, size=(n, d))
+    lo, hi = int(offsets[CONSTANT_GROUP]), int(offsets[CONSTANT_GROUP + 1])
+    x2d[lo:hi, 0] = 42.0  # constant feature -> unsplittable on dim 0
+    groups = np.repeat(np.arange(counts.shape[0]), counts)
+    y = (groups + 1.0) * 0.1 * x2d[:, 0] + rng.normal(0.0, 1.0, size=n)
+    if d > 1:
+        y = y + 0.5 * x2d[:, 1]
+    return x2d, y, offsets
+
+
+def scalar_fit(factory, x2d: np.ndarray, y: np.ndarray, offsets, g: int):
+    """The oracle: one per-group fit exactly as the chunked path makes it."""
+    seg = slice(int(offsets[g]), int(offsets[g + 1]))
+    model = factory()
+    gx = x2d[seg]
+    model.fit(gx[:, 0] if gx.shape[1] == 1 else gx, y[seg])
+    return model
+
+
+def assert_tree_nodes_equal(got: DecisionTreeRegressor,
+                            expected: DecisionTreeRegressor,
+                            context: str) -> None:
+    """Bit-exact node arrays, including dtypes and DFS order."""
+    for key in NODE_KEYS:
+        got_arr, exp_arr = got._nodes[key], expected._nodes[key]
+        assert got_arr.dtype == exp_arr.dtype, f"{context}: {key} dtype"
+        np.testing.assert_array_equal(got_arr, exp_arr,
+                                      err_msg=f"{context}: {key}")
+
+
+def assert_xgb_tree_equal(got, expected, context: str) -> None:
+    for attr in ("_feature_arr", "_threshold_arr", "_left_arr",
+                 "_right_arr", "_value_arr"):
+        got_arr, exp_arr = getattr(got, attr), getattr(expected, attr)
+        assert got_arr.dtype == exp_arr.dtype, f"{context}: {attr} dtype"
+        np.testing.assert_array_equal(got_arr, exp_arr,
+                                      err_msg=f"{context}: {attr}")
+
+
+def assert_regressor_equal(got, expected, context: str) -> None:
+    assert type(got) is type(expected), context
+    if isinstance(expected, DecisionTreeRegressor):
+        assert_tree_nodes_equal(got, expected, context)
+    elif isinstance(expected, GradientBoostingRegressor):
+        assert got._base == expected._base, f"{context}: base"
+        assert len(got._trees) == len(expected._trees), context
+        for r, (g_tree, e_tree) in enumerate(zip(got._trees, expected._trees)):
+            assert_tree_nodes_equal(g_tree, e_tree, f"{context} round {r}")
+    elif isinstance(expected, XGBRegressor):
+        assert got._base == expected._base, f"{context}: base"
+        assert len(got._trees) == len(expected._trees), context
+        for r, (g_tree, e_tree) in enumerate(zip(got._trees, expected._trees)):
+            assert_xgb_tree_equal(g_tree, e_tree, f"{context} round {r}")
+    elif isinstance(expected, EnsembleRegressor):
+        assert list(got.models_) == list(expected.models_), context
+        for name in expected.models_:
+            assert_regressor_equal(got.models_[name], expected.models_[name],
+                                   f"{context} constituent {name}")
+        assert got._default_name == expected._default_name, context
+        assert (got.selector_ is None) == (expected.selector_ is None), context
+        assert got._domain == expected._domain, context
+    else:  # PLR constituents inside ensembles
+        np.testing.assert_array_equal(got._knots, expected._knots, context)
+        np.testing.assert_array_equal(got._coef, expected._coef, context)
+
+
+# -- kernel-level parity: every family, every depth, 1-D and d=2 -------------
+
+
+class TestBinningParity:
+    @pytest.mark.parametrize("d", [1, 2])
+    def test_codes_and_edges_match_binned_features(self, d):
+        x2d, _, offsets = make_flat(d=d)
+        bins = _compute_bins(x2d, offsets, max_bins=256)
+        for g in range(offsets.shape[0] - 1):
+            seg = slice(int(offsets[g]), int(offsets[g + 1]))
+            oracle = BinnedFeatures(
+                x2d[seg, 0] if d == 1 else x2d[seg], max_bins=256
+            )
+            for j in range(d):
+                scalar_edges = oracle.edges[j]
+                assert bins.n_bins[g, j] == scalar_edges.shape[0] + 1
+                np.testing.assert_array_equal(
+                    bins.edges[g, j, : scalar_edges.shape[0]], scalar_edges,
+                    err_msg=f"group {g} dim {j}: edges",
+                )
+                assert np.all(
+                    np.isinf(bins.edges[g, j, scalar_edges.shape[0]:])
+                )
+                np.testing.assert_array_equal(
+                    bins.codes[seg, j], oracle.codes[:, j],
+                    err_msg=f"group {g} dim {j}: codes",
+                )
+
+
+class TestKernelDepths:
+    @pytest.mark.parametrize("depth", [1, 2, 4, 6])
+    @pytest.mark.parametrize("d", [1, 2])
+    def test_cart_forest_matches_scalar_trees(self, depth, d):
+        x2d, y, offsets = make_flat(d=d)
+        proto = DecisionTreeRegressor(max_depth=depth)
+        bins = _compute_bins(x2d, offsets, proto.max_bins)
+        rec, pred = _fit_cart_forest(
+            bins, y, offsets, max_depth=depth,
+            min_samples_leaf=proto.min_samples_leaf,
+            min_samples_split=proto.min_samples_split,
+        )
+        for g in range(offsets.shape[0] - 1):
+            oracle = scalar_fit(
+                lambda: DecisionTreeRegressor(max_depth=depth),
+                x2d, y, offsets, g,
+            )
+            got = DecisionTreeRegressor.from_fit_state(
+                _slice_nodes(rec, g), d, max_depth=depth
+            )
+            assert_tree_nodes_equal(got, oracle, f"depth {depth} group {g}")
+            # Growth-time leaf assignment == post-fit threshold traversal.
+            seg = slice(int(offsets[g]), int(offsets[g + 1]))
+            gx = x2d[seg, 0] if d == 1 else x2d[seg]
+            np.testing.assert_array_equal(pred[seg], oracle.predict(gx),
+                                          err_msg=f"group {g}: leaf pred")
+
+    @pytest.mark.parametrize("depth", [2, 4])
+    def test_xgb_forest_matches_scalar_rounds(self, depth):
+        x2d, y, offsets = make_flat(d=1)
+        proto = XGBRegressor(n_estimators=5, max_depth=depth)
+        bins = _compute_bins(x2d, offsets, proto.max_bins)
+        base, rounds, pred = _fit_xgb_forest(
+            bins, y, offsets, n_estimators=5,
+            learning_rate=proto.learning_rate, max_depth=depth,
+            min_child_weight=proto.min_child_weight,
+            reg_lambda=proto.reg_lambda, gamma=proto.gamma,
+        )
+        for g in range(offsets.shape[0] - 1):
+            oracle = scalar_fit(
+                lambda: XGBRegressor(n_estimators=5, max_depth=depth),
+                x2d, y, offsets, g,
+            )
+            got = XGBRegressor.from_fit_state(
+                float(base[g]), [_slice_nodes(rec, g) for rec in rounds],
+                learning_rate=proto.learning_rate, max_depth=depth,
+                reg_lambda=proto.reg_lambda, gamma=proto.gamma,
+                min_child_weight=proto.min_child_weight,
+            )
+            assert_regressor_equal(got, oracle, f"depth {depth} group {g}")
+            seg = slice(int(offsets[g]), int(offsets[g + 1]))
+            np.testing.assert_array_equal(
+                pred[seg], oracle.predict(x2d[seg, 0]),
+                err_msg=f"group {g}: in-sample booster prediction",
+            )
+
+    def test_gboost_forest_matches_scalar_rounds(self):
+        x2d, y, offsets = make_flat(d=1)
+        proto = GradientBoostingRegressor(n_estimators=5)
+        bins = _compute_bins(x2d, offsets, proto.max_bins)
+        stage_split = DecisionTreeRegressor(
+            max_depth=proto.max_depth,
+            min_samples_leaf=proto.min_samples_leaf,
+            max_bins=proto.max_bins,
+        ).min_samples_split
+        base, rounds, pred = _fit_gboost_forest(
+            bins, y, offsets, n_estimators=5,
+            learning_rate=proto.learning_rate, max_depth=proto.max_depth,
+            min_samples_leaf=proto.min_samples_leaf,
+            min_samples_split=stage_split,
+        )
+        for g in range(offsets.shape[0] - 1):
+            oracle = scalar_fit(
+                lambda: GradientBoostingRegressor(n_estimators=5),
+                x2d, y, offsets, g,
+            )
+            trees = [
+                DecisionTreeRegressor.from_fit_state(
+                    _slice_nodes(rec, g), 1, max_depth=proto.max_depth,
+                    min_samples_leaf=proto.min_samples_leaf,
+                )
+                for rec in rounds
+            ]
+            got = GradientBoostingRegressor.from_fit_state(
+                float(base[g]), trees, learning_rate=proto.learning_rate,
+                max_depth=proto.max_depth,
+                min_samples_leaf=proto.min_samples_leaf,
+            )
+            assert_regressor_equal(got, oracle, f"group {g}")
+            seg = slice(int(offsets[g]), int(offsets[g + 1]))
+            np.testing.assert_array_equal(
+                pred[seg], oracle.predict(x2d[seg, 0]),
+                err_msg=f"group {g}: in-sample booster prediction",
+            )
+
+
+class TestFitForestRegressors:
+    """The config-driven entry point vs scalar ``_make_regressor`` fits."""
+
+    @pytest.mark.parametrize("regressor",
+                             ["tree", "gboost", "xgboost", "ensemble"])
+    @pytest.mark.parametrize("d", [1, 2])
+    def test_bitwise_node_parity(self, regressor, d):
+        from repro.core.model import _make_regressor
+
+        x2d, y, offsets = make_flat(d=d)
+        config = DBEstConfig(regressor=regressor, random_seed=3)
+        result = fit_forest_regressors(x2d, y, offsets, config)
+        assert result is not None
+        regressors, pred = result
+        assert len(regressors) == offsets.shape[0] - 1
+        if regressor == "ensemble":
+            assert pred is None
+        else:
+            assert pred is not None and pred.shape == y.shape
+        for g in range(offsets.shape[0] - 1):
+            oracle = scalar_fit(
+                lambda: _make_regressor(config), x2d, y, offsets, g
+            )
+            assert_regressor_equal(regressors[g], oracle,
+                                   f"{regressor} d={d} group {g}")
+
+    def test_ensemble_selector_routes_identically(self):
+        from repro.core.model import _make_regressor
+
+        x2d, y, offsets = make_flat(d=1)
+        config = DBEstConfig(regressor="ensemble", random_seed=3)
+        regressors, _ = fit_forest_regressors(x2d, y, offsets, config)
+        grid = np.linspace(0.0, 100.0, 129)
+        for g in (0, 6):  # large groups, where the selector actually trains
+            oracle = scalar_fit(
+                lambda: _make_regressor(config), x2d, y, offsets, g
+            )
+            for lb, ub in ((0.0, 10.0), (20.0, 80.0), (5.0, 95.0),
+                           (None, None)):
+                assert regressors[g].select(lb, ub) == oracle.select(lb, ub)
+                np.testing.assert_array_equal(
+                    regressors[g].predict(grid, lb, ub),
+                    oracle.predict(grid, lb, ub),
+                )
+
+    def test_non_forest_regressors_return_none(self):
+        x2d, y, offsets = make_flat(d=1)
+        for regressor in ("plr", "linear"):
+            config = DBEstConfig(regressor=regressor, random_seed=3)
+            assert fit_forest_regressors(x2d, y, offsets, config) is None
+
+    def test_single_group_and_all_constant(self):
+        # Every group constant in x: no edges anywhere, width-0 edge
+        # tensor, pure-leaf forest.
+        y = np.asarray([1.0, 2.0, 3.0, 4.0])
+        x2d = np.full((4, 1), 7.0)
+        offsets = np.asarray([0, 4])
+        config = DBEstConfig(regressor="tree", random_seed=0)
+        regressors, pred = fit_forest_regressors(x2d, y, offsets, config)
+        oracle = DecisionTreeRegressor().fit(x2d[:, 0], y)
+        assert_tree_nodes_equal(regressors[0], oracle, "all-constant")
+        np.testing.assert_array_equal(pred, oracle.predict(x2d[:, 0]))
+
+
+# -- train-path routing: forest kernel by default, chunked loop on opt-out ---
+
+
+def _train_set(monkeypatch=None, **overrides):
+    rng = np.random.default_rng(5)
+    counts = np.asarray(GROUP_SIZES)
+    groups = np.repeat(np.arange(counts.shape[0]), counts)
+    x = rng.uniform(0.0, 100.0, size=groups.shape[0])
+    y = (groups + 1.0) * 0.1 * x + rng.normal(0.0, 1.0, size=groups.shape[0])
+    config = DBEstConfig(
+        min_group_rows=30, random_seed=5, integration_points=65, **overrides
+    )
+    return GroupByModelSet.train(
+        sample_x=x, sample_y=y, sample_groups=groups,
+        full_groups=groups, full_x=x, full_y=y,
+        table_name="t", x_columns=("x",), y_column="y", group_column="g",
+        config=config,
+    )
+
+
+class TestTrainPathRouting:
+    @pytest.mark.parametrize("regressor", ["tree", "gboost", "xgboost",
+                                           "ensemble"])
+    def test_default_path_never_fits_per_group(self, monkeypatch, regressor):
+        # Regression guard: if the per-group chunked loop reappears on the
+        # default path for forest regressors, this fails loudly.
+        def forbidden(payload):
+            raise AssertionError(
+                "per-group regressor loop used on the default batched path"
+            )
+
+        monkeypatch.setattr(
+            "repro.core.batched_train._fit_regressor_chunk", forbidden
+        )
+        model_set = _train_set(regressor=regressor)
+        assert len(model_set.models) == 6  # groups >= min_group_rows
+        assert all(m.regressor.is_fitted for m in model_set.models.values())
+
+    def test_opt_out_restores_the_chunked_oracle(self, monkeypatch):
+        from repro.core import batched_train
+
+        calls = []
+        original = batched_train._fit_regressor_chunk
+
+        def spy(payload):
+            calls.append(1)
+            return original(payload)
+
+        monkeypatch.setattr(
+            "repro.core.batched_train._fit_regressor_chunk", spy
+        )
+        model_set = _train_set(regressor="tree", batched_forest=False)
+        assert calls  # the chunked per-group path did the fitting
+        assert len(model_set.models) == 6
+
+    def test_opt_out_models_match_the_forest_kernel(self):
+        forest = _train_set(regressor="gboost")
+        chunked = _train_set(regressor="gboost", batched_forest=False)
+        assert set(forest.models) == set(chunked.models)
+        for value, expected in chunked.models.items():
+            assert_regressor_equal(forest.models[value].regressor,
+                                   expected.regressor, f"group {value}")
+            # Residual state squares predictions; the batched pass sums
+            # with reduceat, so parity here is 1e-9 (the answer bound),
+            # not bitwise.
+            np.testing.assert_allclose(
+                forest.models[value]._residual_var_global,
+                expected._residual_var_global, rtol=1e-9,
+            )
+            if expected._residual_edges is not None:
+                np.testing.assert_allclose(
+                    forest.models[value]._residual_var,
+                    expected._residual_var, rtol=1e-9,
+                )

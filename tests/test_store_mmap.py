@@ -203,6 +203,72 @@ class TestBitParity:
         )
 
 
+class TestForestRecords:
+    """Booster model sets round-trip as mapped flat-forest segments.
+
+    The level-synchronous trainer emits stacked node arrays; the mapped
+    store must persist them as ``m/reg_forest/...`` segments and answer
+    bit-identically to the pickle oracle after the round trip.
+    """
+
+    @pytest.fixture(scope="class")
+    def forest_stores(self, tmp_path_factory):
+        rng = np.random.default_rng(11)
+        n_groups, rows = 6, 80
+        g = np.repeat(np.arange(n_groups), rows).astype(np.float64)
+        x = rng.uniform(0.0, 100.0, size=g.size)
+        y = (1.0 + 0.1 * g) * x + rng.normal(0.0, 1.0, size=g.size)
+        table = Table({"x": x, "y": y, "g": g}, name="traffic")
+        engine = DBEst(config=DBEstConfig(
+            regressor="gboost", integration_points=65, min_group_rows=30,
+            random_seed=11,
+        ))
+        engine.register_table(table)
+        engine.build_model("traffic", x="x", y="y", sample_size=g.size,
+                           group_by="g")
+        root = tmp_path_factory.mktemp("forest")
+        return (
+            ModelStore.write(engine.catalog, root / "pickle",
+                             store_format="pickle"),
+            ModelStore.write(engine.catalog, root / "mmap",
+                             store_format="mmap"),
+        )
+
+    def test_loads_mapped_with_forest_segments(self, forest_stores):
+        _, mmap_store = forest_stores
+        assert isinstance(mmap_store.get(GROUP_KEY), MappedGroupByModelSet)
+        layout = mmap_store.record_layout(GROUP_KEY)
+        assert layout["format"] == "mmap"
+        names = [seg["name"] for seg in layout["segments"]]
+        forest_names = [n for n in names if n.startswith("m/reg_forest/")]
+        assert forest_names  # stacked node arrays persisted as segments
+        for part in ("feature", "threshold", "value", "left", "right",
+                     "toffsets", "gtoffsets", "base"):
+            assert any(name.endswith("/" + part) or name.endswith(part)
+                       for name in forest_names), part
+
+    def test_answers_bit_identical_after_round_trip(self, forest_stores):
+        pickle_store, mmap_store = forest_stores
+        oracle = pickle_store.get(GROUP_KEY)
+        mapped = mmap_store.get(GROUP_KEY)
+        for aggregate in AGGREGATES:
+            for ranges in RANGES:
+                _assert_identical(
+                    _answer(oracle, aggregate, ranges),
+                    _answer(mapped, aggregate, ranges),
+                )
+
+    def test_mapped_forest_pickles_as_reference(self, forest_stores):
+        _, mmap_store = forest_stores
+        model = mmap_store.get(GROUP_KEY)
+        clone = pickle.loads(pickle.dumps(model))
+        assert isinstance(clone, MappedGroupByModelSet)
+        _assert_identical(
+            model.answer(AGGREGATES[2], RANGES[0]),
+            clone.answer(AGGREGATES[2], RANGES[0]),
+        )
+
+
 class TestStatsAndLayout:
     def test_heap_and_mapped_bytes_are_distinguished(self, engine, tmp_path):
         store = ModelStore.write(
