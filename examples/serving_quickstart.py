@@ -7,12 +7,21 @@ SQL through a :class:`repro.QueryServer`, which parses each query shape
 once, coalesces queued lookalike queries into shared engine passes, and
 memoises answers.
 
-The final section re-serves the same traffic through a deliberately
+A fault-drill section re-serves the same traffic through a deliberately
 broken store — injected latency spikes, transient read errors, and one
 corrupted record — to show the fault-tolerance machinery: store reads
 retry with backoff, the corrupt record is quarantined, the per-model
 circuit breaker trips, and affected queries degrade to a sampling/exact
 AQP answer (tagged ``degraded``) instead of failing.
+
+The final section appends rows *while serving*: the table delta flows
+through ``engine.append_rows`` — per-group reservoirs decide which rows
+enter the standing sample, only the touched groups re-fit, and the
+refreshed model is republished to the store as a new record generation
+(``write_refresh``).  The query server invalidates exactly the
+refreshed keys' cached answers, in-flight readers keep the old
+generation until they finish, and ``store.prune()`` reclaims the
+superseded record files.
 
 Run with:  python examples/serving_quickstart.py
 """
@@ -37,6 +46,7 @@ def main() -> None:
         y="ss_wholesale_cost",
         sample_size=10_000,
         group_by="ss_store_sk",
+        streaming=True,  # keep reservoir state: section 6 appends rows
     )
     builder.build_model(
         "store_sales",
@@ -134,6 +144,43 @@ def main() -> None:
     print(f"  degraded answers:  {len(degraded)}")
     if degraded:
         print(f"  e.g. {degraded[0].degraded_reason}")
+
+    # 6. Streaming ingest: append rows while serving.  The group-by
+    #    model was trained with streaming=True, so the delta flows
+    #    through its per-group reservoirs and only the touched groups
+    #    re-fit; the refreshed model is republished to the store as a
+    #    new record generation and the server drops exactly the
+    #    refreshed keys' cached answers — no restart, no full retrain.
+    #    (The drill above quarantined a record, so repack a clean store.)
+    store_dir = store_dir.with_name("sales-live.store")
+    repro.ModelStore.write(builder.catalog, store_dir)
+    store = repro.ModelStore(store_dir)
+    engine.catalog = store
+    probe = ("SELECT COUNT(ss_list_price) FROM store_sales "
+             "WHERE ss_list_price BETWEEN 10 AND 35 GROUP BY ss_store_sk;")
+    delta = repro.generate_store_sales(7_500, seed=8)
+    with repro.QueryServer(engine, n_workers=4) as server:
+        stale = server.submit(probe).result(timeout=30)
+        version = store.version
+        report = engine.append_rows("store_sales", delta)
+        fresh = server.submit(probe).result(timeout=30)
+    refreshed = next(iter(report["refreshed"].items()))
+    print(f"\nstreaming ingest: appended {report['rows']} rows while "
+          f"serving")
+    print(f"  refreshed:         {len(refreshed[1])} group(s) of "
+          f"{refreshed[0].table}/{refreshed[0].x_columns[0]} "
+          f"(store v{version} -> v{store.version})")
+    print(f"  left stale:        {len(report['skipped'])} non-streaming "
+          f"model(s) (retrain via build_model to pick up the delta)")
+    moved = sum(
+        1 for group, before in stale.values["COUNT(ss_list_price)"].items()
+        if abs(fresh.values["COUNT(ss_list_price)"][group] - before) > 1e-9
+    )
+    print(f"  answers moved:     {moved} of "
+          f"{len(stale.values['COUNT(ss_list_price)'])} groups "
+          f"(cache swept for exactly the refreshed key)")
+    print(f"  pruned:            {len(store.prune())} superseded record "
+          f"generation(s)")
 
 
 if __name__ == "__main__":

@@ -1,7 +1,8 @@
 """Command-line interface.
 
-Eight subcommands cover the offline workflow the paper describes, the
-serving loop, and health checks for the batched engine:
+The subcommands cover the offline workflow the paper describes, the
+serving loop, streaming ingest, and health checks for the batched
+engine:
 
 * ``generate``    — synthesise one of the evaluation datasets to CSV.
 * ``build``       — sample a CSV table, train a (group-by) model, append
@@ -9,6 +10,14 @@ serving loop, and health checks for the batched engine:
 * ``query``       — answer SQL from a saved catalog (no base data needed).
 * ``pack-store``  — repack a catalog file as a lazy per-model store
   directory (:class:`repro.serve.ModelStore`).
+* ``store-info``  — dump a store's per-record layout;
+  ``--generations`` also lists the live/dead record-generation
+  inventory.
+* ``refresh-store`` — absorb a CSV delta into a store's streaming
+  models: per-group reservoirs absorb the rows, only the dirty groups
+  re-fit, and each refreshed model is republished as a new record
+  generation (``--prune`` reclaims superseded generations no reader
+  still maps).
 * ``serve``       — answer a stream of SQL (file or stdin) through the
   coalescing :class:`repro.serve.QueryServer`, from a catalog or store;
   ``--deadline-ms``/``--max-queue``/``--shed-policy``/``--degrade``
@@ -26,8 +35,10 @@ serving loop, and health checks for the batched engine:
   leg checking that coalesced/cached serving answers match sequential
   ``execute`` and a FAULT leg serving the same workload from a model
   store under injected faults (10% load latency, 1% corruption) where
-  every query must still be answered; exits non-zero if any side
-  disagrees or availability drops below 100%.
+  every query must still be answered, and an INGEST leg appending ~5%
+  new rows to a streaming model set and checking the dirty-group
+  refresh against a full retrain on the same final sample; exits
+  non-zero if any side disagrees or availability drops below 100%.
 * ``bench-serve`` — in-process serving throughput check: a mixed
   workload over a group-by model set, naive sequential ``execute`` vs
   the query server, with answer parity enforced.
@@ -39,6 +50,7 @@ Examples::
     python -m repro query --catalog models.pkl \\
         "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 20;"
     python -m repro pack-store --catalog models.pkl --store models.store
+    python -m repro refresh-store --store models.store --csv delta.csv --prune
     python -m repro serve --store models.store --queries workload.sql
     python -m repro advise --log workload.sql
     python -m repro bench-smoke
@@ -91,6 +103,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("ensemble", "gboost", "xgboost", "plr", "linear", "tree"),
     )
     build.add_argument("--seed", type=int, default=None)
+    build.add_argument(
+        "--streaming", action="store_true",
+        help="keep per-group reservoir state so the model can absorb "
+             "appended rows later (group-by models only; see "
+             "refresh-store)",
+    )
     build.add_argument("--catalog", type=Path, required=True)
 
     query = commands.add_parser("query", help="answer SQL from a saved catalog")
@@ -118,6 +136,29 @@ def _build_parser() -> argparse.ArgumentParser:
     store_info.add_argument(
         "--segments", action="store_true",
         help="also list every mapped record's segment table",
+    )
+    store_info.add_argument(
+        "--generations", action="store_true",
+        help="also list the live/dead record-generation inventory "
+             "(dead files are reclaimable via refresh-store --prune)",
+    )
+
+    refresh_store = commands.add_parser(
+        "refresh-store",
+        help="absorb a CSV delta into a store's streaming models "
+             "(dirty-group refresh, published as new record generations)",
+    )
+    refresh_store.add_argument("--store", type=Path, required=True)
+    refresh_store.add_argument("--csv", type=Path, required=True,
+                               help="delta rows to append (same schema "
+                                    "as the base table)")
+    refresh_store.add_argument("--table",
+                               help="table the delta belongs to "
+                                    "(default: CSV stem)")
+    refresh_store.add_argument(
+        "--prune", action="store_true",
+        help="after republishing, unlink superseded record generations "
+             "that no reader still maps",
     )
 
     serve = commands.add_parser(
@@ -196,6 +237,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         y=args.y,
         sample_size=args.sample_size,
         group_by=args.group_by,
+        streaming=args.streaming,
     )
     written = engine.catalog.save(args.catalog)
     stats = engine.build_stats[key]
@@ -258,6 +300,66 @@ def _cmd_store_info(args: argparse.Namespace) -> int:
                 print(f"    {seg['name']:<36} {seg['dtype']:<8} "
                       f"{shape:>12} @{seg['offset']:>9} "
                       f"{seg['nbytes']:>10} B")
+    if args.generations:
+        inventory = store.generations()
+        print(f"generations: {len(inventory['live'])} live, "
+              f"{len(inventory['dead'])} dead")
+        for row in inventory["live"]:
+            name = f"{row['table']}/{','.join(row['x_columns'])}"
+            if row["y_column"]:
+                name += f"->{row['y_column']}"
+            if row["group_by"]:
+                name += f" by {row['group_by']}"
+            print(f"  live {row['filename']:<24} {name}")
+        for row in inventory["dead"]:
+            state = "pinned by a reader" if row["pinned"] else "reclaimable"
+            print(f"  dead {row['filename']:<24} ({state})")
+    return 0
+
+
+def _cmd_refresh_store(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.serve import ModelStore
+
+    store = ModelStore(args.store)
+    delta = read_csv(args.csv, name=args.table or args.csv.stem)
+    refreshed = 0
+    skipped = []
+    for key in list(store.keys()):
+        if key.table != delta.name:
+            continue
+        model = store.get(key)
+        hydrate = getattr(model, "_hydrated", None)
+        if hydrate is not None:  # mapped store wrapper -> heap set
+            model = hydrate()
+        if not getattr(model, "is_streaming", False):
+            skipped.append(key)
+            continue
+        delta_x = np.column_stack(
+            [delta[c].astype(np.float64) for c in key.x_columns]
+        )
+        delta_y = (
+            None
+            if key.y_column is None
+            else delta[key.y_column].astype(np.float64)
+        )
+        dirty = model.refresh(delta_x, delta_y, delta[key.group_by])
+        record = store.write_refresh(key, model)
+        name = f"{key.table}/{','.join(key.x_columns)}"
+        if key.y_column:
+            name += f"->{key.y_column}"
+        if key.group_by:
+            name += f" by {key.group_by}"
+        print(f"refreshed {name}: {len(dirty)} dirty group(s) "
+              f"-> {record.filename}")
+        refreshed += 1
+    if args.prune:
+        removed = store.prune()
+        print(f"pruned {len(removed)} superseded record file(s)")
+    print(f"{delta.n_rows} delta row(s) into {delta.name}: "
+          f"{refreshed} model(s) refreshed, {len(skipped)} left stale "
+          f"(not trained with streaming=True)")
     return 0
 
 
@@ -642,6 +744,76 @@ def _smoke_mmap_leg(args: argparse.Namespace) -> float:
     return worst
 
 
+def _smoke_ingest_leg(args: argparse.Namespace) -> float:
+    """Streaming ingest: append ~5% new rows, refresh only the dirty
+    groups, and check answers against a from-scratch retrain on the same
+    final sample (returns the worst divergence); prints one INGEST row
+    timing the full retrain against the dirty-group refresh."""
+    import time
+
+    import numpy as np
+
+    from repro.core.groupby import GroupByModelSet
+    from repro.sql.ast import AggregateCall
+
+    groups = max(10, min(args.groups, 40))
+    rows = args.rows
+    rng = np.random.default_rng(args.seed)
+    n = groups * rows
+    g = np.repeat(np.arange(groups), rows).astype(np.float64)
+    x = rng.uniform(0.0, 100.0, size=n)
+    y = (1.0 + g * 0.05) * x + rng.normal(0.0, 1.0, size=n)
+    config = DBEstConfig(
+        regressor="plr", min_group_rows=min(30, rows),
+        integration_points=65, random_seed=args.seed,
+    )
+    model_set = GroupByModelSet.train(
+        sample_x=x, sample_y=y, sample_groups=g,
+        full_groups=g, full_x=x, full_y=y,
+        table_name="ingest", x_columns=("x",), y_column="y",
+        group_column="g", config=config, batched=True, streaming=True,
+    )
+    # A ~5% delta landing in ~10% of the groups.
+    dirty_values = np.arange(max(1, groups // 10), dtype=np.float64)
+    m = max(1, n // 20)
+    dg = dirty_values[rng.integers(0, dirty_values.shape[0], size=m)]
+    dx = rng.uniform(0.0, 100.0, size=m)
+    dy = (1.0 + dg * 0.05) * dx + rng.normal(0.0, 1.0, size=m)
+    start = time.perf_counter()
+    dirty = model_set.refresh(dx, dy, dg)
+    refresh_s = time.perf_counter() - start
+    stream = model_set._stream
+    start = time.perf_counter()
+    oracle = GroupByModelSet.train(
+        sample_x=stream.sample_x, sample_y=stream.sample_y,
+        sample_groups=stream.sample_groups,
+        full_groups=np.concatenate([g, dg]),
+        full_x=np.concatenate([x, dx]),
+        full_y=np.concatenate([y, dy]),
+        table_name="ingest", x_columns=("x",), y_column="y",
+        group_column="g", config=config, batched=True,
+    )
+    retrain_s = time.perf_counter() - start
+    worst = 0.0
+    ranges = {"x": (20.0, 60.0)}
+    for func in ("COUNT", "SUM", "AVG"):
+        aggregate = AggregateCall(func, "y")
+        got = model_set.answer(aggregate, ranges, batched=True)
+        expected = oracle.answer(aggregate, ranges, batched=True)
+        for value, want in expected.items():
+            have = got[value]
+            if np.isnan(want) or np.isnan(have):
+                if np.isnan(want) != np.isnan(have):
+                    worst = float("inf")
+                continue
+            worst = max(worst, abs(have - want) / max(1.0, abs(want)))
+    print(f"{'INGEST':<12} {retrain_s * 1e3:>8.2f}ms "
+          f"{refresh_s * 1e3:>8.2f}ms "
+          f"{retrain_s / refresh_s:>7.1f}x  "
+          f"({len(dirty)}/{groups} groups dirty)")
+    return worst
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     """Mixed-workload serving throughput vs naive sequential execute."""
     import time
@@ -793,6 +965,10 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
     # stay at 100% (exact answers or degraded, never unanswered).
     unanswered, _degraded, fault_worst = _smoke_fault_leg(args)
     serve_worst = max(serve_worst, fault_worst)
+
+    # INGEST leg: append ~5% rows, dirty-group refresh vs full retrain.
+    ingest_worst = _smoke_ingest_leg(args)
+    worst = max(worst, ingest_worst)
     print(f"max answer divergence over {args.groups} groups: {worst:.2e}; "
           f"max trained-parameter divergence: {train_worst:.2e}; "
           f"max serving divergence: {serve_worst:.2e}")
@@ -807,8 +983,9 @@ def _cmd_bench_smoke(args: argparse.Namespace) -> int:
     print("ok: batched training and evaluation match the scalar oracles "
           "(1-D, multivariate and forest), coalesced serving matches "
           "sequential execute, the zero-copy mapped store matches the "
-          "in-memory catalog, and serving stayed available under injected "
-          "faults")
+          "in-memory catalog, serving stayed available under injected "
+          "faults, and the streaming dirty-group refresh matches a full "
+          "retrain")
     return 0
 
 
@@ -818,6 +995,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "pack-store": _cmd_pack_store,
     "store-info": _cmd_store_info,
+    "refresh-store": _cmd_refresh_store,
     "serve": _cmd_serve,
     "advise": _cmd_advise,
     "bench-smoke": _cmd_bench_smoke,

@@ -70,6 +70,7 @@ summation order.
 from __future__ import annotations
 
 import math
+from types import SimpleNamespace
 
 import numpy as np
 from scipy.special import ndtr
@@ -258,6 +259,183 @@ class BatchedGroupEvaluator:
         if model_set.raw_groups and raw_state is None:
             return None
         return cls(x_columns, model_set.y_column, model_state, raw_state)
+
+    @classmethod
+    def splice(
+        cls, old: "BatchedGroupEvaluator | None", model_set, dirty_values
+    ) -> "BatchedGroupEvaluator | None":
+        """Evaluator for a refreshed set, re-stacking only dirty groups.
+
+        Clean groups' stacked CSR segments are copied straight out of
+        ``old``; only the groups in ``dirty_values`` go through the
+        per-model export path (a mini :meth:`_stack_models` pass over
+        just those models, merged field-wise in sorted-value order).
+        The result is bit-identical to :meth:`build` on the full set —
+        the parity tests assert it — while costing O(dirty) exports
+        plus one array copy.  Returns None when splicing does not apply
+        (multivariate state, ensemble regressors, regressor-mode or
+        grid mismatch between old and new fits); the caller then falls
+        back to a full rebuild.
+        """
+        if old is None:
+            return cls.build(model_set)
+        m = old._m
+        if m is not None and m.get("ndim", 1) != 1:
+            return None
+        if len(model_set.x_columns) != 1:
+            return None
+        dirty = set(dirty_values)
+        dirty_models = {
+            v: mod for v, mod in model_set.models.items() if v in dirty
+        }
+        raw_state = cls._stack_raw(model_set)
+        if model_set.raw_groups and raw_state is None:
+            return None
+        if not dirty_models:
+            # Dirty groups are all raw: the model state is untouched.
+            return cls(old.x_columns, old.y_column, m, raw_state)
+        shim = SimpleNamespace(
+            models=dirty_models, x_columns=model_set.x_columns
+        )
+        mini = cls._stack_models(shim)
+        if mini is None:
+            return None
+        if m is None:
+            if len(dirty_models) != len(model_set.models):
+                return None
+            return cls(old.x_columns, old.y_column, mini, raw_state)
+        if mini["points"] != m["points"] or mini["reg_mode"] != m["reg_mode"]:
+            return None
+        if m["reg_mode"] == "ensemble":
+            return None
+        state = cls._merge_model_states(m, mini)
+        if state is None:
+            return None
+        if len(state["values"]) != len(model_set.models) or any(
+            v not in model_set.models for v in state["values"]
+        ):
+            return None  # groups appeared/vanished outside the dirty set
+        return cls(old.x_columns, old.y_column, state, raw_state)
+
+    @classmethod
+    def _merge_model_states(cls, m: dict, mini: dict) -> dict | None:
+        """Field-wise merge of two stacked 1-D states, ``mini`` winning."""
+        old_pos = {v: i for i, v in enumerate(m["values"])}
+        new_pos = {v: i for i, v in enumerate(mini["values"])}
+        union = sorted(set(old_pos) | set(new_pos))
+        g = len(union)
+        src = [
+            (mini, new_pos[v]) if v in new_pos else (m, old_pos[v])
+            for v in union
+        ]
+        is_new = np.asarray([st is mini for st, _ in src], dtype=bool)
+        take = np.asarray([i for _, i in src], dtype=np.intp)
+        new_dest = np.flatnonzero(is_new)
+        old_dest = np.flatnonzero(~is_new)
+
+        def merge_scalar(field: str) -> np.ndarray:
+            out = np.empty(g, dtype=np.asarray(m[field]).dtype)
+            out[old_dest] = np.asarray(m[field])[take[old_dest]]
+            out[new_dest] = np.asarray(mini[field])[take[new_dest]]
+            return out
+
+        def merge_csr(data_field: str, off_field: str) -> tuple:
+            segs = []
+            counts = np.empty(g, dtype=np.int64)
+            for u, (st, i) in enumerate(src):
+                off = st[off_field]
+                seg = st[data_field][off[i]:off[i + 1]]
+                segs.append(seg)
+                counts[u] = seg.shape[0]
+            data = np.concatenate(segs) if segs else np.empty(0)
+            return data, np.concatenate(([0], np.cumsum(counts)))
+
+        centres, coffsets = merge_csr("centres", "coffsets")
+        cweights, _ = merge_csr("cweights", "coffsets")
+        res_edges, res_eoffsets = merge_csr("res_edges", "res_eoffsets")
+        res_var, res_voffsets = merge_csr("res_var", "res_voffsets")
+        state: dict = {
+            "values": union,
+            "centres": centres,
+            "cweights": cweights,
+            "coffsets": coffsets.astype(np.int64),
+            "points": m["points"],
+            "res_edges": res_edges,
+            "res_var": res_var,
+            "res_eoffsets": res_eoffsets.astype(np.int64),
+            "res_voffsets": res_voffsets.astype(np.int64),
+            "reg_mode": m["reg_mode"],
+        }
+        for key in ("h", "sup_lo", "sup_hi", "dom_lo", "dom_hi", "reflect",
+                    "pm_mask", "pm_value", "population", "res_global"):
+            state[key] = merge_scalar(key)
+        def merge_plr_csr(field: str) -> tuple:
+            segs = []
+            counts = np.empty(g, dtype=np.int64)
+            for u, (st, i) in enumerate(src):
+                plr = st["reg_plr"]
+                off = plr["koffsets"]
+                seg = plr[field][off[i]:off[i + 1]]
+                segs.append(seg)
+                counts[u] = seg.shape[0]
+            data = np.concatenate(segs) if segs else np.empty(0)
+            return data, np.concatenate(([0], np.cumsum(counts)))
+
+        mode = m["reg_mode"]
+        if mode == "plr":
+            knots, koffsets = merge_plr_csr("knots")
+            hinge, _ = merge_plr_csr("hinge")
+            affine = np.empty((g, 2))
+            affine[old_dest] = m["reg_plr"]["affine"][take[old_dest]]
+            affine[new_dest] = mini["reg_plr"]["affine"][take[new_dest]]
+            state["reg_plr"] = {
+                "knots": knots,
+                "koffsets": koffsets.astype(np.int64),
+                "hinge": hinge,
+                "affine": affine,
+            }
+        elif mode == "linear":
+            affine = np.empty((g, m["reg_affine"].shape[1]))
+            affine[old_dest] = m["reg_affine"][take[old_dest]]
+            affine[new_dest] = mini["reg_affine"][take[new_dest]]
+            state["reg_affine"] = affine
+        elif mode == "forest":
+            # Reconstruct per-group export tuples from the stacked
+            # arrays (the inverse of _stack_forest) and re-stack in
+            # union order; both directions are pure offset arithmetic,
+            # so the node arrays come out bit-identical.
+            def forest_export(st: dict, i: int) -> tuple:
+                f = st["reg_forest"]
+                t0, t1 = f["gtoffsets"][i], f["gtoffsets"][i + 1]
+                n0, n1 = f["toffsets"][t0], f["toffsets"][t1]
+                return (
+                    "forest", f["base"][i], f["lr"][i],
+                    f["toffsets"][t0:t1 + 1] - n0,
+                    f["feature"][n0:n1], f["threshold"][n0:n1],
+                    f["left"][n0:n1], f["right"][n0:n1], f["value"][n0:n1],
+                )
+
+            state["reg_forest"] = cls._stack_forest(
+                [forest_export(st, i) for st, i in src]
+            )
+        elif mode == "generic":
+            state["reg_objects"] = [st["reg_objects"][i] for st, i in src]
+        # Derived arrays merge like the primary fields (both sides were
+        # built by _derive_model_arrays, whose outputs are per-group
+        # segments/scalars) — re-deriving would walk every group again,
+        # defeating the O(dirty) splice.
+        state["counts"] = np.diff(state["coffsets"])
+        state["inv_h"] = 1.0 / state["h"]
+        state["inv_h_rep"] = np.repeat(state["inv_h"], state["counts"])
+        aug_centre_over_h, aug_offsets = merge_csr(
+            "aug_centre_over_h", "aug_offsets"
+        )
+        aug_weights, _ = merge_csr("aug_weights", "aug_offsets")
+        state["aug_centre_over_h"] = aug_centre_over_h
+        state["aug_weights"] = aug_weights
+        state["aug_offsets"] = aug_offsets.astype(np.int64)
+        state["aug_counts"] = np.diff(state["aug_offsets"])
+        return state
 
     @classmethod
     def _stack_models(cls, model_set) -> dict | None:

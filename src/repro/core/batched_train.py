@@ -127,6 +127,12 @@ class GroupPartition:
                 values = sorted_groups
                 starts = np.zeros(0, dtype=np.int64)
         else:
+            values = np.asarray(values)
+            if values.shape[0] > 1 and not np.all(values[1:] > values[:-1]):
+                # searchsorted silently returns garbage starts for an
+                # unsorted (or duplicated) superset, mis-sizing every
+                # slice after the first inversion.
+                values = np.unique(values)
             starts = np.searchsorted(sorted_groups, values, side="left")
         offsets = np.concatenate(
             (starts, [groups.shape[0]])
@@ -140,6 +146,65 @@ class GroupPartition:
     def rows(self, g: int) -> np.ndarray:
         """Original row indices of group ``g``, in original order."""
         return self.order[self.offsets[g]:self.offsets[g + 1]]
+
+    def merge(
+        self, new_groups: np.ndarray, base: int | None = None
+    ) -> "tuple[GroupPartition, np.ndarray]":
+        """Merge appended rows into the partition without re-sorting all N.
+
+        ``new_groups`` are the group values of rows appended after the
+        partitioned array; their row indices are ``base + arange(m)``
+        (``base`` defaults to the current row count).  Only the delta is
+        argsorted — the existing ``order`` is interleaved into the merged
+        permutation with two vectorised scatters, so the cost is
+        O(m log m + N copy) instead of O((N + m) log (N + m)).
+
+        Returns ``(merged, dirty)`` where ``dirty`` holds the indices
+        (into ``merged.values``) of groups that received rows.  The
+        merged partition is bit-identical to ``from_groups`` on the
+        concatenated group column: stable sort keeps old rows before new
+        rows within a group, and both were internally ordered already.
+        """
+        new_groups = np.asarray(new_groups)
+        m = new_groups.shape[0]
+        n_old = self.order.shape[0]
+        if base is None:
+            base = n_old
+        if m == 0:
+            return (
+                GroupPartition(
+                    order=self.order, offsets=self.offsets, values=self.values
+                ),
+                np.zeros(0, dtype=np.int64),
+            )
+        new_local = np.argsort(new_groups, kind="stable")
+        sorted_new = new_groups[new_local]
+        values = np.union1d(self.values, sorted_new)
+        counts_old = np.zeros(values.shape[0], dtype=np.int64)
+        old_pos = np.searchsorted(values, self.values)
+        counts_old[old_pos] = self.counts
+        new_starts = np.searchsorted(sorted_new, values, side="left")
+        counts_new = np.diff(np.concatenate((new_starts, [m])))
+        offsets = np.zeros(values.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts_old + counts_new, out=offsets[1:])
+        order = np.empty(n_old + m, dtype=self.order.dtype)
+        if n_old:
+            # Old row i of group g lands at the group's merged start plus
+            # its rank within the group (old rows precede new ones).
+            within_old = np.arange(n_old) - np.repeat(
+                self.offsets[:-1], self.counts
+            )
+            dest_old = (
+                np.repeat(offsets[:-1][old_pos], self.counts) + within_old
+            )
+            order[dest_old] = self.order
+        within_new = np.arange(m) - np.repeat(new_starts, counts_new)
+        dest_new = (
+            np.repeat(offsets[:-1] + counts_old, counts_new) + within_new
+        )
+        order[dest_new] = new_local + base
+        dirty = np.flatnonzero(counts_new > 0)
+        return GroupPartition(order=order, offsets=offsets, values=values), dirty
 
 
 def segmented_quantiles(
@@ -880,6 +945,7 @@ def train_batched_models(
     y_column: str | None,
     population: dict,
     config: DBEstConfig,
+    group_mask: np.ndarray | None = None,
 ) -> dict:
     """Build the ``models`` dict of a GroupByModelSet in batched passes.
 
@@ -888,8 +954,14 @@ def train_batched_models(
     be a float64 ``(n, d)`` matrix and ``sample_part`` the sample's
     :class:`GroupPartition` aligned to the full table's group values;
     ``modelled_mask`` flags the groups whose sample is large enough to
-    model (the rest stay raw).
+    model (the rest stay raw).  ``group_mask`` further restricts the fit
+    to a subset of groups (the streaming-refresh dirty set): only the
+    masked groups' models are built and returned, from exactly the same
+    vectorised passes — a full train is the ``group_mask=None``
+    (everything dirty) case.
     """
+    if group_mask is not None:
+        modelled_mask = np.logical_and(modelled_mask, group_mask)
     if sample_x.shape[1] != 1:
         return _train_batched_models_nd(
             sample_x, sample_y, sample_part, modelled_mask,

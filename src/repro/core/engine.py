@@ -139,12 +139,16 @@ class DBEst:
         y: str | None = None,
         sample_size: int | None = None,
         group_by: str | None = None,
+        streaming: bool = False,
     ) -> ModelKey:
         """Sample a table and train a (group-by) column-set model.
 
         Returns the catalog key under which the model is registered.  The
         sample is discarded after training (paper §3: "any samples it
-        builds are deleted after model training").
+        builds are deleted after model training") — unless
+        ``streaming=True`` (group-by models only), which retains the
+        per-group reservoir state so later :meth:`append_rows` calls can
+        refresh just the touched groups instead of retraining.
         """
         base = self._get_table(table)
         x_columns = (x,) if isinstance(x, str) else tuple(x)
@@ -158,6 +162,10 @@ class DBEst:
 
         t0 = time.perf_counter()
         if group_by is None:
+            if streaming:
+                raise InvalidParameterError(
+                    "streaming=True requires group_by (per-group reservoirs)"
+                )
             model: object = ColumnSetModel.train(
                 sample_x if len(x_columns) > 1 else sample_x[:, 0],
                 sample_y,
@@ -182,6 +190,7 @@ class DBEst:
                 y_column=y,
                 group_column=group_by,
                 config=self.config,
+                streaming=streaming,
             )
         training_seconds = time.perf_counter() - t0
 
@@ -194,6 +203,58 @@ class DBEst:
             "model_bytes": model.size_bytes(),
         }
         return key
+
+    def append_rows(self, table: str, rows: Table) -> dict:
+        """Append rows to a registered table and refresh its models.
+
+        The streaming-ingest entry point: the delta is concatenated onto
+        the registered (immutable) table, then every catalog model over
+        that table trained with ``streaming=True`` absorbs the new rows
+        through :meth:`GroupByModelSet.refresh` — per-group reservoirs
+        decide which rows enter the standing sample, and only the dirty
+        groups re-fit.  Each refreshed model is re-registered (bumping
+        the catalog change-log) or, when the engine serves from a
+        :class:`~repro.serve.ModelStore`, republished as a new record
+        generation via ``write_refresh`` — either way downstream answer
+        caches invalidate exactly the refreshed keys.  Models without
+        streaming state are left stale and reported under ``"skipped"``
+        (retrain them with :meth:`build_model` to pick up the rows).
+
+        Returns ``{"rows": n, "refreshed": {key: [group values]},
+        "skipped": [keys]}``.
+        """
+        base = self._get_table(table)
+        if rows.n_rows == 0:
+            return {"rows": 0, "refreshed": {}, "skipped": []}
+        self.tables[table] = base.concat(rows)
+        refreshed: dict[ModelKey, list] = {}
+        skipped: list[ModelKey] = []
+        for key in list(self.catalog.keys()):
+            if key.table != table:
+                continue
+            model = self.catalog.get(key)
+            hydrate = getattr(model, "_hydrated", None)
+            if hydrate is not None:  # mapped store wrapper -> heap set
+                model = hydrate()
+            if not getattr(model, "is_streaming", False):
+                skipped.append(key)
+                continue
+            delta_x = self._feature_matrix(
+                rows, key.x_columns, np.arange(rows.n_rows)
+            )
+            delta_y = (
+                None
+                if key.y_column is None
+                else rows[key.y_column].astype(np.float64)
+            )
+            dirty = model.refresh(delta_x, delta_y, rows[key.group_by])
+            register = getattr(self.catalog, "register", None)
+            if register is not None:
+                register(key, model, replace=True)
+            else:
+                self.catalog.write_refresh(key, model)
+            refreshed[key] = dirty
+        return {"rows": int(rows.n_rows), "refreshed": refreshed, "skipped": skipped}
 
     def build_join_model(
         self,

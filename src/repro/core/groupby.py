@@ -27,7 +27,94 @@ from repro.core.config import DBEstConfig
 from repro.core.model import ColumnSetModel
 from repro.core.parallel import chunk_items, map_parallel
 from repro.errors import ModelTrainingError
+from repro.sampling.reservoir import StreamingReservoir
 from repro.sql.ast import AggregateCall
+
+
+class _StreamState:
+    """Ingest-side state of a set trained with ``streaming=True``.
+
+    Holds the flat sample arrays, the sample's :class:`GroupPartition`
+    (kept incremental across refreshes via :meth:`GroupPartition.merge`),
+    the per-group :class:`StreamingReservoir`, and the exact group
+    census.  Everything pickles, so a streaming set survives a trip
+    through the model store and keeps absorbing appends afterwards.
+    """
+
+    def __init__(
+        self,
+        sample_x: np.ndarray,
+        sample_y: np.ndarray | None,
+        sample_groups: np.ndarray,
+        part: GroupPartition,
+        reservoir: StreamingReservoir,
+        full_counts: dict,
+        population_scale: float,
+    ) -> None:
+        self.sample_x = sample_x
+        self.sample_y = sample_y
+        self.sample_groups = sample_groups
+        self.part = part
+        self.reservoir = reservoir
+        self.full_counts = full_counts
+        self.population_scale = population_scale
+
+    @classmethod
+    def seed(
+        cls,
+        sample_x: np.ndarray,
+        sample_y: np.ndarray | None,
+        sample_groups: np.ndarray,
+        sample_part: GroupPartition,
+        full_counts: dict,
+        population_scale: float,
+        config: DBEstConfig,
+    ) -> "_StreamState":
+        """Adopt a just-trained set's sample as the streaming baseline.
+
+        Modelled groups get a fixed-capacity stratum (pure Algorithm-L
+        replacement keeps their sample uniform); raw groups may grow to
+        the fleet-average capacity so appends can carry them over the
+        promotion threshold.  Groups with zero sample rows stay
+        unseeded — their stratum starts fresh on the first append, so
+        its sample over-represents post-stream rows; such groups are
+        tiny and answered exactly from raw tuples anyway.
+        """
+        counts = sample_part.counts
+        positive = counts[counts > 0]
+        default_cap = max(
+            int(round(float(positive.mean()))) if positive.size else 0,
+            config.min_group_rows,
+        )
+        reservoir = StreamingReservoir(
+            default_cap, seed=getattr(config, "random_seed", None)
+        )
+        values = sample_part.values.tolist()
+        for g, value in enumerate(values):
+            k = int(counts[g])
+            if k == 0:
+                continue
+            if k >= config.min_group_rows:
+                cap = k
+            else:
+                cap = max(k, default_cap)
+            reservoir.seed_group(
+                value, size=k, seen=int(full_counts[value]), capacity=cap
+            )
+        sample_y = (
+            None
+            if sample_y is None
+            else np.asarray(sample_y, dtype=np.float64).ravel().copy()
+        )
+        return cls(
+            sample_x=np.array(sample_x, dtype=np.float64, copy=True),
+            sample_y=sample_y,
+            sample_groups=np.asarray(sample_groups).copy(),
+            part=sample_part,
+            reservoir=reservoir,
+            full_counts=dict(full_counts),
+            population_scale=float(population_scale),
+        )
 
 
 def _answer_chunk(payload: tuple) -> list[tuple]:
@@ -152,6 +239,8 @@ class GroupByModelSet:
         # derived state and would double the serialised model size).
         self._batched_cache = None
         self._batched_built = False
+        # Streaming-ingest state; set by train(streaming=True).
+        self._stream: _StreamState | None = None
 
     # -- training ---------------------------------------------------------
 
@@ -171,6 +260,7 @@ class GroupByModelSet:
         config: DBEstConfig | None = None,
         population_scale: float = 1.0,
         batched: bool | None = None,
+        streaming: bool = False,
     ) -> "GroupByModelSet":
         """Build per-group models from a uniform sample.
 
@@ -192,6 +282,12 @@ class GroupByModelSet:
         Either way both trainers and the ``RawGroup`` collection share
         one sorted partition per table — no path re-scans the sample or
         the full data per group.
+
+        ``streaming=True`` additionally retains the sample arrays, the
+        sample partition, and per-group Algorithm-L reservoir state so
+        appended rows can later flow through :meth:`refresh` without a
+        full rebuild; a plain ``train`` is exactly the
+        everything-dirty case of that incremental path.
         """
         config = config or DBEstConfig()
         sample_x = np.asarray(sample_x, dtype=np.float64)
@@ -257,24 +353,19 @@ class GroupByModelSet:
                 config=config,
             )
         if models is None:
-            models = {}
-            sample_y_arr = None if sample_y is None else np.asarray(sample_y)
-            for g in np.flatnonzero(modelled_mask).tolist():
-                rows = sample_part.rows(g)
-                gx = sample_x[rows, :]
-                if gx.shape[1] == 1:
-                    gx = gx[:, 0]
-                gy = None if sample_y_arr is None else sample_y_arr[rows]
-                models[values_list[g]] = ColumnSetModel.train(
-                    gx,
-                    gy,
-                    table_name=table_name,
-                    x_columns=tuple(x_columns),
-                    y_column=y_column,
-                    population_size=population[values_list[g]],
-                    config=config,
-                )
-        return cls(
+            models = cls._fit_scalar_models(
+                sample_x,
+                sample_y,
+                sample_part,
+                np.flatnonzero(modelled_mask),
+                values_list,
+                population,
+                table_name,
+                tuple(x_columns),
+                y_column,
+                config,
+            )
+        instance = cls(
             table_name=table_name,
             x_columns=tuple(x_columns),
             y_column=y_column,
@@ -283,6 +374,259 @@ class GroupByModelSet:
             raw_groups=raw_groups,
             config=config,
         )
+        if streaming:
+            full_count_map = dict(zip(values_list, full_counts.tolist()))
+            instance._stream = _StreamState.seed(
+                sample_x,
+                sample_y,
+                np.asarray(sample_groups),
+                sample_part,
+                full_count_map,
+                population_scale,
+                config,
+            )
+        return instance
+
+    @staticmethod
+    def _fit_scalar_models(
+        sample_x: np.ndarray,
+        sample_y: np.ndarray | None,
+        sample_part: GroupPartition,
+        indices: np.ndarray,
+        values_list: list,
+        population: dict,
+        table_name: str,
+        x_columns: tuple[str, ...],
+        y_column: str | None,
+        config: DBEstConfig,
+    ) -> dict:
+        """Per-group scalar fits over ``indices`` — the parity-oracle loop.
+
+        Shared by full training (all modelled groups) and streaming
+        refresh (the dirty subset), so both paths fit through literally
+        the same code when the batched trainer is opted out.
+        """
+        models: dict = {}
+        sample_y_arr = None if sample_y is None else np.asarray(sample_y)
+        for g in indices.tolist():
+            rows = sample_part.rows(g)
+            gx = sample_x[rows, :]
+            if gx.shape[1] == 1:
+                gx = gx[:, 0]
+            gy = None if sample_y_arr is None else sample_y_arr[rows]
+            models[values_list[g]] = ColumnSetModel.train(
+                gx,
+                gy,
+                table_name=table_name,
+                x_columns=x_columns,
+                y_column=y_column,
+                population_size=population[values_list[g]],
+                config=config,
+            )
+        return models
+
+    # -- streaming refresh --------------------------------------------------
+
+    @property
+    def is_streaming(self) -> bool:
+        return getattr(self, "_stream", None) is not None
+
+    def refresh(
+        self,
+        delta_x: np.ndarray,
+        delta_y: np.ndarray | None,
+        delta_groups: np.ndarray,
+        batched: bool | None = None,
+    ) -> list:
+        """Absorb appended rows and re-fit only the groups they touch.
+
+        The incremental counterpart of :meth:`train` (which is the
+        everything-dirty case of this path): each touched group's
+        reservoir stratum decides which delta rows enter the standing
+        sample (in-place slot replacements for full strata, appends for
+        filling ones), the sample partition is merged incrementally via
+        :meth:`GroupPartition.merge`, raw groups append their tuples
+        (promoting to a model once their sample crosses
+        ``min_group_rows``), and only the dirty groups re-fit through
+        the batched trainer (``group_mask``).  The stacked evaluator is
+        then spliced — clean groups keep their CSR segments — or, when
+        splicing does not apply, invalidated for a lazy rebuild; readers
+        holding the old evaluator are never blocked.
+
+        Requires ``train(..., streaming=True)``.  Returns the sorted
+        list of refreshed group values.  Concurrent *queries* against
+        this set are safe (they see either the old or the new model of
+        a group); concurrent refresh calls are not — serialise ingest.
+        """
+        stream = getattr(self, "_stream", None)
+        if stream is None:
+            raise ModelTrainingError(
+                "refresh requires a set trained with streaming=True"
+            )
+        config = self.config
+        delta_x = np.asarray(delta_x, dtype=np.float64)
+        if delta_x.ndim == 1:
+            delta_x = delta_x[:, None]
+        delta_y_arr = (
+            None
+            if delta_y is None
+            else np.asarray(delta_y, dtype=np.float64).ravel()
+        )
+        if (stream.sample_y is None) != (delta_y_arr is None):
+            raise ModelTrainingError(
+                "delta must carry a y column exactly when training did"
+            )
+        delta_groups = np.asarray(delta_groups)
+        if delta_groups.shape[0] != delta_x.shape[0]:
+            raise ModelTrainingError(
+                "delta_groups and delta_x row counts differ"
+            )
+        if delta_groups.shape[0] == 0:
+            return []
+
+        # -- 1. reservoir decisions against the standing sample ------------
+        delta_part = GroupPartition.from_groups(delta_groups)
+        part = stream.part
+        old_counts = part.counts
+        old_pos = {v: i for i, v in enumerate(part.values.tolist())}
+        dirty_values = delta_part.values.tolist()
+        replacements: list = []  # (flat sample row, delta row)
+        append_src: list = []  # delta rows entering the sample, in order
+        for g, value in enumerate(dirty_values):
+            rows = delta_part.rows(g)
+            gi = old_pos.get(value)
+            size_before = 0 if gi is None else int(old_counts[gi])
+            pending: list = []
+            for i, slot in stream.reservoir.absorb(value, rows.shape[0]):
+                if slot == -1:
+                    pending.append(int(rows[i]))
+                elif slot < size_before:
+                    flat = int(part.order[part.offsets[gi] + slot])
+                    replacements.append((flat, int(rows[i])))
+                else:
+                    # Replacing a row appended earlier in this batch.
+                    pending[slot - size_before] = int(rows[i])
+            append_src.extend(pending)
+            stream.full_counts[value] = (
+                stream.full_counts.get(value, 0) + rows.shape[0]
+            )
+        for flat, src in replacements:  # in decision order: last wins
+            stream.sample_x[flat] = delta_x[src]
+            if delta_y_arr is not None:
+                stream.sample_y[flat] = delta_y_arr[src]
+
+        # -- 2. incremental partition merge ---------------------------------
+        append_idx = np.asarray(append_src, dtype=np.intp)
+        appended_groups = delta_groups[append_idx]
+        stream.sample_x = np.concatenate(
+            [stream.sample_x, delta_x[append_idx]], axis=0
+        )
+        if delta_y_arr is not None:
+            stream.sample_y = np.concatenate(
+                [stream.sample_y, delta_y_arr[append_idx]]
+            )
+        stream.sample_groups = np.concatenate(
+            [stream.sample_groups, appended_groups]
+        )
+        part, _ = part.merge(appended_groups)
+        stream.part = part
+
+        # -- 3. raw-group upkeep and promotion ------------------------------
+        values_list = part.values.tolist()
+        union_pos = {v: i for i, v in enumerate(values_list)}
+        counts = part.counts
+        modelled_mask = counts >= config.min_group_rows
+        promoted: list = []
+        for g, value in enumerate(dirty_values):
+            if modelled_mask[union_pos[value]]:
+                if value in self.raw_groups:
+                    promoted.append(value)
+                continue
+            rows = delta_part.rows(g)
+            gx = delta_x[rows]
+            gy = None if delta_y_arr is None else delta_y_arr[rows]
+            raw = self.raw_groups.get(value)
+            if raw is None:
+                self.raw_groups[value] = RawGroup(
+                    gx, gy, population_scale=stream.population_scale
+                )
+            else:
+                raw.x = np.concatenate([raw.x, gx], axis=0)
+                if raw.y is not None:
+                    raw.y = np.concatenate([raw.y, gy])
+
+        # -- 4. re-fit exactly the dirty modelled groups --------------------
+        dirty_set = set(dirty_values)
+        dirty_mask = np.fromiter(
+            (v in dirty_set for v in values_list), dtype=bool, count=len(values_list)
+        )
+        population = {
+            v: int(round(stream.full_counts[v] * stream.population_scale))
+            for v in values_list
+        }
+        use_batched = (
+            batched
+            if batched is not None
+            else getattr(config, "batched_train", True)
+        )
+        new_models: dict | None = None
+        if use_batched:
+            new_models = train_batched_models(
+                stream.sample_x,
+                stream.sample_y,
+                part,
+                modelled_mask,
+                table_name=self.table_name,
+                x_columns=self.x_columns,
+                y_column=self.y_column,
+                population=population,
+                config=config,
+                group_mask=dirty_mask,
+            )
+        if new_models is None:
+            new_models = self._fit_scalar_models(
+                stream.sample_x,
+                stream.sample_y,
+                part,
+                np.flatnonzero(modelled_mask & dirty_mask),
+                values_list,
+                population,
+                self.table_name,
+                self.x_columns,
+                self.y_column,
+                config,
+            )
+        self.models.update(new_models)
+        for value in promoted:
+            del self.raw_groups[value]
+
+        # -- 5. evaluator splice (non-blocking for readers) -----------------
+        dirty_sorted = sorted(dirty_set)
+        self._refresh_evaluator(dirty_sorted)
+        return dirty_sorted
+
+    def _refresh_evaluator(self, dirty_values: list) -> None:
+        """Splice the cached evaluator, or invalidate it for lazy rebuild.
+
+        Readers that already hold the old evaluator keep using it — the
+        swap is a plain reference assignment under the build lock.
+        """
+        lock = self.__dict__.setdefault("_eval_build_lock", threading.Lock())
+        with lock:
+            old = (
+                self._batched_cache
+                if getattr(self, "_batched_built", False)
+                else None
+            )
+            new_eval = None
+            if old is not None:
+                from repro.core.batched import BatchedGroupEvaluator
+
+                new_eval = BatchedGroupEvaluator.splice(
+                    old, self, dirty_values
+                )
+            self._batched_cache = new_eval
+            self._batched_built = new_eval is not None
 
     # -- querying -----------------------------------------------------------
 

@@ -8,6 +8,7 @@ keys (VerdictDB-like).
 
 from repro.sampling.hashed import hash_sample_mask, hash_sample_table
 from repro.sampling.reservoir import (
+    StreamingReservoir,
     reservoir_sample_indices,
     reservoir_sample_stream,
     reservoir_sample_table,
@@ -20,6 +21,7 @@ from repro.sampling.uniform import (
 )
 
 __all__ = [
+    "StreamingReservoir",
     "bernoulli_sample_indices",
     "hash_sample_mask",
     "hash_sample_table",

@@ -5,11 +5,17 @@ uniform samples over the original table".  Algorithm R is the classic
 one-pass reservoir; Algorithm L skips ahead geometrically and touches only
 O(k log(n/k)) stream items, which is what makes single-pass sampling of
 very large tables cheap.
+
+:class:`StreamingReservoir` extends the one-shot pass to *streaming
+ingest*: per-group strata whose Algorithm-L skip state persists across
+batches, so appended rows merge into the standing sample weighted by how
+many rows each stratum has already absorbed.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from collections.abc import Iterable, Iterator
 
 import numpy as np
@@ -17,10 +23,29 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.storage.table import Table
 
+# Largest double below 1.0: clamping Algorithm L's w here keeps
+# log1p(-w) finitely negative even when the multiplicative update
+# rounds w up to 1.0 (possible for tiny k, where exp(log(u)/k) ~ 1).
+_W_MAX = math.nextafter(1.0, 0.0)
+
 
 def _check_k(k: int) -> None:
     if k <= 0:
         raise InvalidParameterError(f"sample size must be positive, got {k}")
+
+
+def _log_uniform(rng: np.random.Generator) -> float:
+    """``log`` of a uniform draw from (0, 1].
+
+    ``rng.random()`` draws from [0, 1): a zero draw (one in 2**53, but
+    real — and deterministic under a seeded generator that happens to
+    hit it) would make ``math.log`` raise.  Re-drawing preserves the
+    conditional distribution exactly.
+    """
+    u = rng.random()
+    while u <= 0.0:  # pragma: no cover - one-in-2**53 draw
+        u = rng.random()
+    return math.log(u)
 
 
 def reservoir_sample_stream(
@@ -48,16 +73,18 @@ def reservoir_sample_stream(
         return reservoir
 
     # w tracks the k-th largest of n uniform draws, updated multiplicatively.
-    w = math.exp(math.log(rng.random()) / k)
+    # Clamped below 1.0: for tiny k, exp(log(u)/k) can round to exactly 1.0
+    # and log1p(-w) would then be -0.0 (division by zero in the skip draw).
+    w = min(math.exp(_log_uniform(rng) / k), _W_MAX)
     position = k
-    skip = math.floor(math.log(rng.random()) / math.log1p(-w))
+    skip = math.floor(_log_uniform(rng) / math.log1p(-w))
     target = position + skip + 1
     for item in iterator:
         position += 1
         if position == target:
             reservoir[rng.integers(0, k)] = item
-            w *= math.exp(math.log(rng.random()) / k)
-            skip = math.floor(math.log(rng.random()) / math.log1p(-w))
+            w = min(w * math.exp(_log_uniform(rng) / k), _W_MAX)
+            skip = math.floor(_log_uniform(rng) / math.log1p(-w))
             target = position + skip + 1
     return reservoir
 
@@ -94,3 +121,191 @@ def reservoir_sample_table(
     """Uniform row sample of a table, via :func:`reservoir_sample_indices`."""
     indices = reservoir_sample_indices(table.n_rows, k, rng=rng)
     return table.take(indices, name=f"{table.name}_sample")
+
+
+class _Stratum:
+    """Algorithm-L state for one group's reservoir."""
+
+    __slots__ = ("capacity", "size", "seen", "w", "target")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.size = 0
+        self.seen = 0
+        self.w = 0.0  # k-th largest uniform so far; 0.0 while still filling
+        self.target = 0  # absolute 1-based position of the next accepted item
+
+    def __getstate__(self) -> tuple:
+        return (self.capacity, self.size, self.seen, self.w, self.target)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.capacity, self.size, self.seen, self.w, self.target = state
+
+
+class StreamingReservoir:
+    """Per-group reservoir strata that absorb appended batches online.
+
+    One stratum per group value runs Li's Algorithm L continuously: the
+    skip state (``w`` and the next accept position) persists across
+    batches, so feeding rows in any batch split yields *exactly* the
+    decisions a single sequential pass would make.  Keeping a stratum
+    per group means each group's sample stays a uniform ``k``-of-``n``
+    reservoir over that group's own rows — group frequencies are
+    tracked exactly by the caller's population counts, so they stay
+    unbiased no matter how skewed the appends are.
+
+    The class makes *decisions only*; it never stores rows.
+    :meth:`absorb` returns ``(batch_pos, slot)`` pairs — ``slot == -1``
+    appends batch row ``batch_pos`` to the stratum's sample, ``slot >=
+    0`` overwrites that sample slot (when several decisions hit one
+    slot, the last wins, matching the sequential algorithm).  The
+    caller owns the actual sample arrays and applies the edits.
+
+    Strata seeded from a pre-existing sample (``seed_group``) resume
+    with ``w`` drawn from Beta(k, n - k + 1) — the exact distribution
+    of Algorithm L's threshold after ``n`` items — which is the
+    weighted part of the merge: a stratum that has already seen many
+    rows accepts new ones with the correspondingly small probability.
+    A mutex guards every mutation (concurrent ingest threads), and the
+    state pickles cleanly so it can ride inside a stored model.
+    """
+
+    def __init__(
+        self,
+        default_capacity: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        _check_k(default_capacity)
+        self.default_capacity = int(default_capacity)
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+        else:
+            self._rng = np.random.default_rng(seed)
+        self._strata: dict = {}
+        self._lock = threading.Lock()
+
+    # -- introspection -------------------------------------------------
+    def __contains__(self, value) -> bool:
+        return value in self._strata
+
+    def values(self) -> list:
+        return list(self._strata)
+
+    def size(self, value) -> int:
+        """Current sample size of ``value``'s stratum."""
+        return self._strata[value].size
+
+    def seen(self, value) -> int:
+        """Total rows the stratum has absorbed (population of the group)."""
+        return self._strata[value].seen
+
+    def capacity(self, value) -> int:
+        return self._strata[value].capacity
+
+    # -- lifecycle -----------------------------------------------------
+    def seed_group(
+        self,
+        value,
+        size: int,
+        seen: int,
+        capacity: int | None = None,
+    ) -> None:
+        """Adopt an existing uniform ``size``-of-``seen`` sample for ``value``.
+
+        ``capacity`` defaults to ``size`` (the stratum is full and future
+        rows enter by replacement only).  Passing ``capacity > size``
+        lets the stratum grow, but note the recency bias: the next
+        ``capacity - size`` appended rows are accepted with probability
+        one, so the sample is only uniform again once replacements have
+        churned through it.
+        """
+        _check_k(size)
+        if seen < size:
+            raise InvalidParameterError(
+                f"seen ({seen}) must be >= sample size ({size})"
+            )
+        cap = size if capacity is None else int(capacity)
+        if cap < size:
+            raise InvalidParameterError(
+                f"capacity ({cap}) must be >= sample size ({size})"
+            )
+        with self._lock:
+            if value in self._strata:
+                raise InvalidParameterError(
+                    f"group {value!r} is already tracked"
+                )
+            st = _Stratum(cap)
+            st.size = int(size)
+            st.seen = int(seen)
+            if st.size == st.capacity:
+                self._init_skip_state(st)
+            self._strata[value] = st
+
+    def _init_skip_state(self, st: _Stratum) -> None:
+        """Draw ``w`` and the first skip for a just-filled stratum."""
+        k = st.capacity
+        if st.seen == k:
+            # Fresh fill: Li's closed-form init, identical to
+            # reservoir_sample_stream at the moment its reservoir fills.
+            w = math.exp(_log_uniform(self._rng) / k)
+        else:
+            # Seeded mid-stream: the k-th largest of ``seen`` uniforms
+            # is Beta(k, seen - k + 1) distributed.
+            w = float(self._rng.beta(k, st.seen - k + 1))
+        st.w = min(max(w, math.ulp(0.0)), _W_MAX)
+        skip = math.floor(_log_uniform(self._rng) / math.log1p(-st.w))
+        st.target = st.seen + skip + 1
+
+    # -- ingest --------------------------------------------------------
+    def absorb(self, value, m: int) -> list:
+        """Absorb ``m`` new rows of group ``value``; return edit decisions.
+
+        Returns ``[(batch_pos, slot), ...]`` in decision order, where
+        ``batch_pos`` indexes the batch (0-based) and ``slot`` is ``-1``
+        to append or a sample-slot index to overwrite.  Unknown groups
+        start a fresh stratum of ``default_capacity``.
+        """
+        if m < 0:
+            raise InvalidParameterError(f"batch size must be >= 0, got {m}")
+        if m == 0:
+            return []
+        with self._lock:
+            st = self._strata.get(value)
+            if st is None:
+                st = _Stratum(self.default_capacity)
+                self._strata[value] = st
+            decisions: list = []
+            j = 0
+            while st.size < st.capacity and j < m:
+                decisions.append((j, -1))
+                st.size += 1
+                st.seen += 1
+                j += 1
+                if st.size == st.capacity:
+                    self._init_skip_state(st)
+            if st.size < st.capacity:
+                return decisions  # batch exhausted while still filling
+            # Skip phase: batch item i sits at absolute position
+            # base + i + 1, where base is the seen-count before the batch.
+            base = st.seen - j
+            end = base + m
+            k = st.capacity
+            rng = self._rng
+            while st.target <= end:
+                i = st.target - base - 1
+                decisions.append((i, int(rng.integers(0, k))))
+                st.w = min(st.w * math.exp(_log_uniform(rng) / k), _W_MAX)
+                skip = math.floor(_log_uniform(rng) / math.log1p(-st.w))
+                st.target += skip + 1
+            st.seen = end
+            return decisions
+
+    # -- pickling ------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

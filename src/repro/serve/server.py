@@ -498,7 +498,14 @@ class QueryServer:
         Uses the catalog's change-log for per-key eviction; a catalog
         without one (or one truncated below our horizon) forces a full
         clear.  Surviving entries are re-tagged to the new version so
-        later lookups still hit.
+        later lookups still hit.  A :class:`~repro.serve.ModelStore`
+        speaks the same ``version`` / ``changed_keys_since`` protocol
+        (bumped by ``write_refresh``), so a server fronting a store
+        invalidates exactly the republished keys on streaming refresh —
+        and because cache hits require the entry's version tag to match
+        (see :mod:`repro.serve.answer_cache`), an answer computed
+        against the superseded generation can never be served after the
+        sweep, even if its ``put`` races the republish.
         """
         current = getattr(self.engine.catalog, "version", 0)
         if current == self._catalog_version:

@@ -71,6 +71,25 @@ defeat lazy cold start.  Bit-rot inside segments is therefore not
 self-detected; the fault-injection seam corrupts the prefix reads that
 *are* CRC-checked, preserving the corrupt→quarantine semantics.
 
+Record generations
+==================
+
+Record filenames are ``{generation}-{index:06d}.model``, where
+``generation`` is a fresh 8-hex-digit id per write: ``write`` stamps
+one generation across every record, while ``write_refresh(key, model)``
+publishes a *single-key* generation — it writes the new record file,
+swaps that key's manifest entry, and atomically replaces ``MANIFEST``
+(via a ``.tmp`` + ``os.replace``), so the manifest always names exactly
+one live generation per key and a crash mid-publish leaves the previous
+manifest intact.  Superseded files are left on disk: readers that
+mapped them (this process's live evaluators, or another process still
+serving the old manifest) keep a valid record.  ``prune`` reclaims
+dead generations — every ``records/*.model`` no manifest entry names —
+skipping files a live mapping in this process still pins.  Each
+``write_refresh`` bumps the open handle's ``version`` and appends the
+key to a change-log (``changed_keys_since``), which is how the serving
+layer invalidates exactly the refreshed keys' memoised answers.
+
 Versioning rules: bumping the *record* version only affects new
 records (old stores keep reading); the *manifest* version changes only
 when the manifest mapping itself becomes incompatible.  Unknown
@@ -414,6 +433,8 @@ class MappedGroupByModelSet:
 class ModelStore:
     """Lazy, bounded-memory view over a directory of model records."""
 
+    MAX_CHANGELOG = 256
+
     def __init__(
         self,
         path: str | Path,
@@ -459,7 +480,14 @@ class ModelStore:
         # global entropy, so a failing run replays identically.
         self._jitter = random.Random(0)
         self._lock = threading.Lock()
+        # Serialises write_refresh manifest swaps (reads stay on _lock).
+        self._write_lock = threading.Lock()
         self._records: dict[ModelKey, StoreRecord] = self._read_manifest()
+        # Monotonic handle version + change-log, mirroring ModelCatalog:
+        # write_refresh bumps the version and logs the key, so serving
+        # layers can invalidate exactly the republished keys' answers.
+        self._version = 0
+        self._changelog: list[tuple[int, ModelKey]] = []
         # Resident models in least-recently-touched-first order.
         self._resident: OrderedDict[ModelKey, object] = OrderedDict()
         self._resident_bytes = 0
@@ -519,7 +547,6 @@ class ModelStore:
         path = Path(path)
         records_dir = path / _RECORDS_DIR
         records_dir.mkdir(parents=True, exist_ok=True)
-        header = pack_header(RECORD_MAGIC, STORE_FORMAT_VERSION)
         generation = uuid.uuid4().hex[:8]
         manifest: dict[ModelKey, StoreRecord] = {}
         for index, (key, model) in enumerate(items):
@@ -527,38 +554,10 @@ class ModelStore:
                 raise CatalogError(
                     f"store keys must be ModelKey, got {type(key).__name__}"
                 )
-            if isinstance(model, MappedGroupByModelSet):
-                # Repacking a mapped store: pickle the heap model, not
-                # the wrapper (whose pickle is a path reference into
-                # the very generation being replaced).
-                model = model._hydrated()
             filename = f"{generation}-{index:06d}.model"
-            packed = (
-                cls._pack_mapped_record(model)
-                if store_format == "mmap"
-                else None
+            manifest[key] = cls._pack_record(
+                model, store_format, records_dir, filename
             )
-            if packed is not None:
-                body, meta_nbytes, mapped_nbytes, crc = packed
-                (records_dir / filename).write_bytes(body)
-                manifest[key] = StoreRecord(
-                    filename=filename,
-                    nbytes=len(body),
-                    model_type=type(model).__name__,
-                    crc32=crc,
-                    fmt="mmap",
-                    meta_nbytes=meta_nbytes,
-                    mapped_nbytes=mapped_nbytes,
-                )
-            else:
-                payload = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
-                (records_dir / filename).write_bytes(header + payload)
-                manifest[key] = StoreRecord(
-                    filename=filename,
-                    nbytes=len(payload),
-                    model_type=type(model).__name__,
-                    crc32=zlib.crc32(payload),
-                )
         manifest_payload = pack_header(
             MANIFEST_MAGIC, STORE_FORMAT_VERSION
         ) + pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL)
@@ -581,6 +580,183 @@ class ModelStore:
                 continue
             stale.unlink()
         return cls(path, cache_bytes=cache_bytes, config=config)
+
+    @classmethod
+    def _pack_record(
+        cls,
+        model,
+        store_format: str,
+        records_dir: Path,
+        filename: str,
+    ) -> StoreRecord:
+        """Write one model as a record file; return its manifest entry.
+
+        Shared by the full ``write`` (every key gets one generation) and
+        ``write_refresh`` (one key gets a *new* generation) — the full
+        rewrite is just the everything-refreshed case.
+        """
+        if isinstance(model, MappedGroupByModelSet):
+            # Repacking a mapped store: pickle the heap model, not
+            # the wrapper (whose pickle is a path reference into
+            # the very generation being replaced).
+            model = model._hydrated()
+        packed = (
+            cls._pack_mapped_record(model)
+            if store_format == "mmap"
+            else None
+        )
+        if packed is not None:
+            body, meta_nbytes, mapped_nbytes, crc = packed
+            (records_dir / filename).write_bytes(body)
+            return StoreRecord(
+                filename=filename,
+                nbytes=len(body),
+                model_type=type(model).__name__,
+                crc32=crc,
+                fmt="mmap",
+                meta_nbytes=meta_nbytes,
+                mapped_nbytes=mapped_nbytes,
+            )
+        payload = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+        (records_dir / filename).write_bytes(
+            pack_header(RECORD_MAGIC, STORE_FORMAT_VERSION) + payload
+        )
+        return StoreRecord(
+            filename=filename,
+            nbytes=len(payload),
+            model_type=type(model).__name__,
+            crc32=zlib.crc32(payload),
+        )
+
+    def write_refresh(
+        self,
+        key: ModelKey,
+        model,
+        store_format: str | None = None,
+    ) -> StoreRecord:
+        """Publish a new record *generation* for one key.
+
+        The streaming-ingest publish path: the model is written as a
+        fresh uniquely-named record file, the manifest entry swaps to it
+        and the ``MANIFEST`` is atomically replaced, the store version
+        is bumped with the key logged (so a serving layer's
+        ``changed_keys_since`` sweep invalidates exactly this key's
+        memoised answers), and any resident copy is dropped — the next
+        ``get`` loads the new generation.
+
+        The superseded generation's file is deliberately **not**
+        unlinked: readers in this process that still map it, and
+        handles in other processes serving the old manifest, keep a
+        valid record until :meth:`prune` reclaims dead generations.
+        """
+        if not isinstance(key, ModelKey):
+            raise CatalogError(
+                f"store keys must be ModelKey, got {type(key).__name__}"
+            )
+        with self._lock:
+            old = self._records.get(key)
+        if store_format is None:
+            store_format = (
+                getattr(old, "fmt", "pickle") if old is not None else "pickle"
+            )
+        if store_format not in _STORE_FORMATS:
+            raise CatalogError(
+                f"store_format must be one of {_STORE_FORMATS}, "
+                f"got {store_format!r}"
+            )
+        records_dir = self.path / _RECORDS_DIR
+        records_dir.mkdir(parents=True, exist_ok=True)
+        generation = uuid.uuid4().hex[:8]
+        record = self._pack_record(
+            model, store_format, records_dir, f"{generation}-000000.model"
+        )
+        with self._write_lock:
+            with self._lock:
+                stale = self._records.get(key)
+                if key in self._resident:
+                    self._resident.pop(key)
+                    if stale is not None:
+                        self._resident_bytes -= self._record_charge(stale)
+                self._records[key] = record
+                self._quarantined.pop(key, None)
+                self._version += 1
+                self._changelog.append((self._version, key))
+                if len(self._changelog) > self.MAX_CHANGELOG:
+                    del self._changelog[: -self.MAX_CHANGELOG]
+                manifest = dict(self._records)
+            manifest_payload = pack_header(
+                MANIFEST_MAGIC, STORE_FORMAT_VERSION
+            ) + pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL)
+            manifest_tmp = self.path / (_MANIFEST_NAME + ".tmp")
+            manifest_tmp.write_bytes(manifest_payload)
+            os.replace(manifest_tmp, self.path / _MANIFEST_NAME)
+        return record
+
+    def prune(self) -> list[str]:
+        """Unlink dead record generations; return the removed filenames.
+
+        A file is dead when no manifest entry references it.  Files a
+        live evaluator in this process still has mapped are kept (their
+        paths must stay valid for worker-side segment reconstruction)
+        and reclaimed by a later prune once their readers are released.
+        """
+        records_dir = self.path / _RECORDS_DIR
+        if not records_dir.exists():
+            return []
+        with self._lock:
+            keep = {record.filename for record in self._records.values()}
+        with _MAPPINGS_LOCK:
+            live = {mapping.path for mapping in _LIVE_MAPPINGS}
+        removed: list[str] = []
+        for stale in sorted(records_dir.glob("*.model")):
+            if stale.name in keep:
+                continue
+            try:
+                if stale.resolve() in live:
+                    continue
+                stale.unlink()
+            except OSError:  # pragma: no cover - raced unlink
+                continue
+            removed.append(stale.name)
+        return removed
+
+    def generations(self) -> dict:
+        """Record-generation inventory (``store-info --generations``).
+
+        Returns ``{"live": [...], "dead": [...]}``: one entry per
+        record file on disk, where live files back a current manifest
+        entry and dead ones await :meth:`prune` — ``pinned`` marks dead
+        files a live evaluator in this process still has mapped.
+        """
+        records_dir = self.path / _RECORDS_DIR
+        with self._lock:
+            current = {
+                record.filename: key for key, record in self._records.items()
+            }
+        with _MAPPINGS_LOCK:
+            mapped = {mapping.path for mapping in _LIVE_MAPPINGS}
+        live: list[dict] = []
+        dead: list[dict] = []
+        files = sorted(records_dir.glob("*.model")) if records_dir.exists() else []
+        for path in files:
+            if path.name in current:
+                key = current[path.name]
+                live.append(
+                    {
+                        "filename": path.name,
+                        "table": key.table,
+                        "x_columns": key.x_columns,
+                        "y_column": key.y_column,
+                        "group_by": key.group_by,
+                    }
+                )
+            else:
+                try:
+                    pinned = path.resolve() in mapped
+                except OSError:  # pragma: no cover - raced unlink
+                    pinned = False
+                dead.append({"filename": path.name, "pinned": pinned})
+        return {"live": live, "dead": dead}
 
     @staticmethod
     def _pack_mapped_record(model) -> tuple[bytes, int, int, int] | None:
@@ -885,9 +1061,30 @@ class ModelStore:
 
     @property
     def version(self) -> int:
-        """Always 0: one open store handle is an immutable generation
-        (its manifest is read once), so memoised answers never go stale."""
-        return 0
+        """Bumped by every :meth:`write_refresh` on this handle.
+
+        A handle that never refreshes stays at 0 (its manifest is read
+        once and immutable, so memoised answers never go stale); after
+        a refresh, serving layers compare versions between batches and
+        use :meth:`changed_keys_since` to invalidate exactly the
+        republished keys' memoised answers.
+        """
+        return self._version
+
+    def changed_keys_since(self, version: int) -> set[ModelKey] | None:
+        """Keys republished after ``version`` was current.
+
+        Mirrors :meth:`ModelCatalog.changed_keys_since`: returns the
+        (possibly empty) set of refreshed keys, or None when the
+        change-log no longer reaches back that far — callers must then
+        treat every memoised answer as suspect.
+        """
+        with self._lock:
+            if version >= self._version:
+                return set()
+            if self._version - version > len(self._changelog):
+                return None  # log truncated below the reader's horizon
+            return {key for v, key in self._changelog if v > version}
 
     def keys(self) -> list[ModelKey]:
         return list(self._records)
