@@ -227,6 +227,31 @@ def run_coldstart_benchmark() -> dict:
     return coldstart
 
 
+OVERHEAD_BOUND = 0.05
+
+
+def run_overhead_benchmark() -> dict:
+    """Instrumentation overhead (metrics + tracing fully on) on the
+    serving workload; merges an ``overhead`` record into
+    BENCH_serving.json.  Must stay under ``OVERHEAD_BOUND``."""
+    from repro.cli import measure_observability_overhead
+
+    result = measure_observability_overhead(N_GROUPS, ROWS_PER_GROUP, SEED)
+    overhead = {
+        "baseline_s": result["off_s"],
+        "instrumented_s": result["on_s"],
+        "relative": result["overhead"],
+        "bound": OVERHEAD_BOUND,
+    }
+    try:
+        record = json.loads(RESULT_PATH.read_text())
+    except (OSError, ValueError):
+        record = {"bench": "serving"}
+    record["overhead"] = overhead
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    return overhead
+
+
 def run_chaos_benchmark() -> dict:
     """The fault-injected leg; merges its record into BENCH_serving.json."""
     engine, distinct = _serving_fixture(N_GROUPS, ROWS_PER_GROUP, SEED)
@@ -372,6 +397,17 @@ def test_serving_coldstart():
 
 
 @pytest.mark.slow
+def test_serving_observability_overhead():
+    overhead = run_overhead_benchmark()
+    assert overhead["relative"] < OVERHEAD_BOUND, (
+        f"metrics + tracing cost {overhead['relative']:.1%} of serving "
+        f"throughput; budget is {OVERHEAD_BOUND:.0%} "
+        f"({overhead['baseline_s'] * 1e3:.1f}ms -> "
+        f"{overhead['instrumented_s'] * 1e3:.1f}ms)"
+    )
+
+
+@pytest.mark.slow
 def test_serving_chaos_availability():
     chaos = run_chaos_benchmark()
     assert chaos["hung"] == 0, f"{chaos['hung']} futures never resolved"
@@ -411,6 +447,12 @@ def main() -> int:
               f"{leg['segment_pickle_bytes']:8d} B segment pickle, {rss}")
     print(f"  {coldstart['speedup']:.1f}x cold-start speedup, "
           f"divergence {coldstart['divergence']:.2e}")
+    overhead = run_overhead_benchmark()
+    print(f"observability leg (metrics + tracing fully enabled)")
+    print(f"  {overhead['baseline_s'] * 1e3:8.1f}ms off -> "
+          f"{overhead['instrumented_s'] * 1e3:8.1f}ms on "
+          f"({overhead['relative']:.1%} overhead, "
+          f"budget {overhead['bound']:.0%})")
     chaos = run_chaos_benchmark()
     print(f"chaos leg ({chaos['n_queries']} queries, faulty store, "
           f"one worker kill)")
@@ -431,6 +473,7 @@ def main() -> int:
         and record["max_divergence"] <= PARITY_BOUND
         and coldstart["speedup"] >= COLDSTART_FLOOR
         and coldstart["divergence"] <= PARITY_BOUND
+        and overhead["relative"] < OVERHEAD_BOUND
         and chaos["hung"] == 0
         and chaos["exact_divergence"] <= PARITY_BOUND
         and chaos["degraded_divergence"] <= DEGRADED_BOUND

@@ -33,6 +33,16 @@ from repro.core import (
 )
 from repro.engines import ExactEngine, StratifiedAQPEngine, UniformAQPEngine
 from repro.errors import ReproError
+from repro.obs import (
+    MetricsRegistry,
+    TraceBuffer,
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    get_registry,
+    render_prometheus,
+)
 from repro.serve import (
     NO_FAULTS,
     SERVER_DEQUEUE,
@@ -69,6 +79,7 @@ __all__ = [
     "ExactEngine",
     "FaultInjector",
     "GroupByModelSet",
+    "MetricsRegistry",
     "ModelBundle",
     "ModelCatalog",
     "ModelKey",
@@ -79,15 +90,22 @@ __all__ = [
     "ReproError",
     "StratifiedAQPEngine",
     "Table",
+    "TraceBuffer",
     "UniformAQPEngine",
     "__version__",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
     "generate_beijing",
     "generate_ccpp",
     "generate_range_queries",
     "generate_store",
     "generate_store_sales",
     "generate_zipf_join_tables",
+    "get_registry",
     "parse_query",
+    "render_prometheus",
     "read_csv",
     "write_csv",
 ]

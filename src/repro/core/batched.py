@@ -70,6 +70,7 @@ summation order.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from types import SimpleNamespace
 
 import numpy as np
@@ -86,6 +87,7 @@ from repro.errors import (
 from repro.integrate import simpson_weights
 from repro.ml.ensemble import EnsembleRegressor
 from repro.ml.kde import KernelDensityEstimator, MultivariateKDE
+from repro.obs import get_registry
 from repro.sql.ast import AggregateCall
 
 _SQRT_2PI = math.sqrt(2.0 * math.pi)
@@ -987,6 +989,8 @@ class BatchedGroupEvaluator:
 
     def answer(self, aggregate: AggregateCall, ranges: Ranges) -> dict:
         """One aggregate for every group, in a handful of array passes."""
+        registry = get_registry()
+        t0 = perf_counter() if registry.enabled else 0.0
         out: dict = {}
         if self._m is not None:
             if self._m.get("ndim", 1) == 1:
@@ -995,6 +999,13 @@ class BatchedGroupEvaluator:
                 out.update(self._answer_models_nd(aggregate, ranges))
         if self._r is not None:
             out.update(self._answer_raw(aggregate, ranges))
+        if registry.enabled:
+            registry.histogram("repro_kernel_answer_seconds").observe(
+                perf_counter() - t0
+            )
+            registry.counter(
+                "repro_kernel_groups_total", {"func": aggregate.func}
+            ).inc(len(out))
         return out
 
     # -- model groups -------------------------------------------------------
@@ -1142,9 +1153,12 @@ class BatchedGroupEvaluator:
         state = self._m
         g = len(state["values"])
         key = (lb.tobytes(), ub.tobytes())
+        registry = get_registry()
         cache = self._grid_cache.get(key)
         if cache is None:
             self._grid_misses += 1
+            if registry.enabled:
+                registry.counter("repro_grid_cache_misses_total").inc()
             a = np.maximum(lb, state["sup_lo"])
             b = np.minimum(ub, state["sup_hi"])
             active = np.flatnonzero(b > a)
@@ -1162,6 +1176,8 @@ class BatchedGroupEvaluator:
             self._grid_cache[key] = cache
         else:
             self._grid_hits += 1
+            if registry.enabled:
+                registry.counter("repro_grid_cache_hits_total").inc()
         active = cache["active"]
         den = np.zeros(g)
         num1 = np.zeros(g)
@@ -1169,6 +1185,7 @@ class BatchedGroupEvaluator:
         if active.size == 0:
             return den, num1, num2, cache
         nodes, d, w = cache["nodes"], cache["pdf"], cache["weights"]
+        t0 = perf_counter() if registry.enabled else 0.0
         if use_regressor:
             f = self._predict_grid(active, nodes, lb, ub)
         else:
@@ -1177,6 +1194,10 @@ class BatchedGroupEvaluator:
         den[active] = wd.sum(axis=1)
         num1[active] = (wd * f).sum(axis=1)
         num2[active] = (wd * f * f).sum(axis=1)
+        if registry.enabled:
+            registry.histogram("repro_kernel_simpson_seconds").observe(
+                perf_counter() - t0
+            )
         return den, num1, num2, cache
 
     def _pdf_grid(self, active: np.ndarray, nodes: np.ndarray) -> np.ndarray:
@@ -1202,6 +1223,8 @@ class BatchedGroupEvaluator:
         coh = state["aug_centre_over_h"][flat_rows]
         cw = state["aug_weights"][flat_rows]
 
+        registry = get_registry()
+        t0 = perf_counter() if registry.enabled else 0.0
         out = np.empty((n_active, m))
         chunk_starts = _chunk_by_budget(counts * m, _PDF_BLOCK)
         for g0, g1 in zip(chunk_starts[:-1], chunk_starts[1:]):
@@ -1215,6 +1238,16 @@ class BatchedGroupEvaluator:
             acc *= cw[rows, None]
             out[g0:g1] = np.add.reduceat(acc, local_offsets[g0:g1] - r0, axis=0)
         out *= (inv_h / _SQRT_2PI)[:, None]
+        if registry.enabled:
+            registry.counter("repro_kernel_pdf_blocks_total").inc(
+                len(chunk_starts) - 1
+            )
+            registry.counter("repro_kernel_pdf_elements_total").inc(
+                int(counts.sum()) * m
+            )
+            registry.histogram("repro_kernel_pdf_seconds").observe(
+                perf_counter() - t0
+            )
         return out
 
     def _predict_grid(
@@ -1620,9 +1653,12 @@ class BatchedGroupEvaluator:
         num1 = np.zeros(g)
         num2 = np.zeros(g)
         key = (lb.tobytes(), ub.tobytes())
+        registry = get_registry()
         cache = self._grid_cache.get(key)
         if cache is None:
             self._grid_misses += 1
+            if registry.enabled:
+                registry.counter("repro_grid_cache_misses_total").inc()
             a = np.maximum(lb, state["dom_lo"])
             b = np.minimum(ub, state["dom_hi"])
             active = np.flatnonzero((b > a).all(axis=1))
@@ -1653,6 +1689,8 @@ class BatchedGroupEvaluator:
             self._grid_cache[key] = cache
         else:
             self._grid_hits += 1
+            if registry.enabled:
+                registry.counter("repro_grid_cache_hits_total").inc()
         active = cache["active"]
         if active.size:
             self._reduce_moments_nd(

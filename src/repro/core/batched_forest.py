@@ -80,6 +80,8 @@ layout :meth:`repro.ml.tree._FlatTree.finalize` produces.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.core.config import DBEstConfig
@@ -89,6 +91,7 @@ from repro.ml.gbm import GradientBoostingRegressor
 from repro.ml.linear import PiecewiseLinearRegressor
 from repro.ml.tree import DecisionTreeRegressor
 from repro.ml.xgb import XGBRegressor
+from repro.obs import get_registry
 
 # Element budget for the per-level histogram tensor and blocked
 # comparisons; matches the batched trainer's chunking budget.
@@ -189,6 +192,8 @@ def _grow_forest(
     them.  Child-size floors must be positive (``min_samples_leaf`` for
     CART, ``min_child_weight`` for XGB) so no empty child can be created.
     """
+    registry = get_registry()
+    t0 = perf_counter() if registry.enabled else 0.0
     codes = bins.codes
     n_groups = offsets.shape[0] - 1
     d = codes.shape[1]
@@ -277,6 +282,13 @@ def _grow_forest(
         n_total += 2 * n_splits
         depth += 1
 
+    if registry.enabled:
+        registry.histogram("repro_forest_grow_seconds").observe(
+            perf_counter() - t0
+        )
+        registry.counter("repro_forest_levels_total").inc(len(levels))
+        registry.counter("repro_forest_rows_total").inc(int(offsets[-1]))
+        registry.counter("repro_forest_trees_total").inc(n_groups)
     return _renumber_to_dfs(levels, n_groups, n_total)
 
 

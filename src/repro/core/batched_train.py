@@ -59,6 +59,8 @@ answer queries identically to 1e-9.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.core.batched import _chunk_by_budget, _csr_take_rows
@@ -68,6 +70,17 @@ from repro.core.parallel import chunk_bounds_weighted, map_parallel
 from repro.errors import InvalidParameterError, ModelTrainingError
 from repro.ml.kde import KernelDensityEstimator, MultivariateKDE
 from repro.ml.linear import LinearRegressor, PiecewiseLinearRegressor
+from repro.obs import get_registry
+
+
+def _record_train_metrics(t0: float, n_rows: int, n_groups: int) -> None:
+    """Push one training pass's volume and wall time (no-op when off)."""
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.histogram("repro_train_seconds").observe(perf_counter() - t0)
+    registry.counter("repro_train_rows_total").inc(n_rows)
+    registry.counter("repro_train_groups_total").inc(n_groups)
 
 # Relative size of the iterative-refinement correction above which a
 # group leaves the stacked normal-equation solve for a per-group lstsq.
@@ -306,6 +319,7 @@ def _fit_densities(
     if config.kde_binned:
         binned_sel = np.flatnonzero(counts > template.bin_threshold)
     if binned_sel.size:
+        bin_t0 = perf_counter()
         binned_pos[binned_sel] = np.arange(binned_sel.size)
         n_bins = config.kde_bins
         first = lo[binned_sel].copy()
@@ -331,6 +345,14 @@ def _fit_densities(
         centres_2d = 0.5 * (edges[:, :-1] + edges[:, 1:])
         weights_2d = bin_counts.astype(np.float64) / nf[binned_sel][:, None]
         keep_2d = bin_counts > 0
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram("repro_train_bincount_seconds").observe(
+                perf_counter() - bin_t0
+            )
+            registry.counter("repro_train_binned_rows_total").inc(
+                int(counts[binned_sel].sum())
+            )
 
     # Degenerate (constant) columns become point masses; everyone else
     # reflects kernels at the observed domain, exactly as the scalar fit.
@@ -960,13 +982,20 @@ def train_batched_models(
     vectorised passes — a full train is the ``group_mask=None``
     (everything dirty) case.
     """
+    t0 = perf_counter()
     if group_mask is not None:
         modelled_mask = np.logical_and(modelled_mask, group_mask)
     if sample_x.shape[1] != 1:
-        return _train_batched_models_nd(
+        models = _train_batched_models_nd(
             sample_x, sample_y, sample_part, modelled_mask,
             table_name, x_columns, y_column, population, config,
         )
+        _record_train_metrics(
+            t0,
+            int(sample_part.counts[modelled_mask].sum()),
+            len(models),
+        )
+        return models
     modelled = np.flatnonzero(modelled_mask)
     if modelled.size == 0:
         return {}
@@ -1110,6 +1139,7 @@ def train_batched_models(
             seg = slice(offsets[i], offsets[i + 1])
             model._fit_residual_variance(xs[seg][:, None], ys[seg])
         models[value] = model
+    _record_train_metrics(t0, int(xs.size), int(modelled.size))
     return models
 
 

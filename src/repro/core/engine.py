@@ -37,6 +37,7 @@ from repro.errors import (
     UnknownTableError,
     UnsupportedQueryError,
 )
+from repro.obs import register_global_collector
 from repro.sampling.reservoir import reservoir_sample_indices
 from repro.sql.ast import AggregateCall, Query
 from repro.sql.parser import parse_query
@@ -69,6 +70,20 @@ def parse_cache_info():
 def parse_cache_clear() -> None:
     """Drop all memoised parses (mainly for tests)."""
     _parse_validated.cache_clear()
+
+
+def _publish_parse_cache(registry) -> None:
+    """Pull collector surfacing the engine-wide parse LRU as gauges."""
+    info = _parse_validated.cache_info()
+    registry.gauge("repro_parse_cache_hits").set(info.hits)
+    registry.gauge("repro_parse_cache_misses").set(info.misses)
+    registry.gauge("repro_parse_cache_entries").set(info.currsize)
+    registry.gauge("repro_parse_cache_max_entries").set(info.maxsize or 0)
+
+
+# The parse cache is a module-level singleton, so its collector lives
+# for the life of the process regardless of which registry is active.
+register_global_collector(_publish_parse_cache)
 
 
 class DBEst:

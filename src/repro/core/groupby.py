@@ -18,6 +18,7 @@ from __future__ import annotations
 import pickle
 import threading
 from collections.abc import Callable
+from time import perf_counter
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.core.config import DBEstConfig
 from repro.core.model import ColumnSetModel
 from repro.core.parallel import chunk_items, map_parallel
 from repro.errors import ModelTrainingError
+from repro.obs import get_registry
 from repro.sampling.reservoir import StreamingReservoir
 from repro.sql.ast import AggregateCall
 
@@ -569,6 +571,8 @@ class GroupByModelSet:
             if batched is not None
             else getattr(config, "batched_train", True)
         )
+        registry = get_registry()
+        refit_t0 = perf_counter()
         new_models: dict | None = None
         if use_batched:
             new_models = train_batched_models(
@@ -599,10 +603,24 @@ class GroupByModelSet:
         self.models.update(new_models)
         for value in promoted:
             del self.raw_groups[value]
+        refit_s = perf_counter() - refit_t0
 
         # -- 5. evaluator splice (non-blocking for readers) -----------------
         dirty_sorted = sorted(dirty_set)
+        splice_t0 = perf_counter()
         self._refresh_evaluator(dirty_sorted)
+        if registry.enabled:
+            registry.counter("repro_refresh_total").inc()
+            registry.counter("repro_refresh_dirty_groups_total").inc(
+                len(dirty_sorted)
+            )
+            registry.counter("repro_refresh_rows_total").inc(
+                int(delta_groups.shape[0])
+            )
+            registry.histogram("repro_refresh_refit_seconds").observe(refit_s)
+            registry.histogram("repro_refresh_splice_seconds").observe(
+                perf_counter() - splice_t0
+            )
         return dirty_sorted
 
     def _refresh_evaluator(self, dirty_values: list) -> None:

@@ -1,0 +1,562 @@
+"""Thread-safe metrics registry: counters, gauges, streaming histograms.
+
+The registry is the process-wide sink every instrumented layer writes
+to.  Instruments are addressed by ``(name, labels)``; the first caller
+of :meth:`MetricsRegistry.counter` / :meth:`~MetricsRegistry.gauge` /
+:meth:`~MetricsRegistry.histogram` for an address creates the
+instrument, later callers share it.  All mutation is lock-protected per
+instrument, so concurrent writers from the serving worker pool never
+lose increments.
+
+Disabled by default: :func:`get_registry` returns the shared
+:data:`NULL_REGISTRY` whose instruments are no-op singletons, so a hot
+path pays one function call and one attribute lookup when metrics are
+off.  Code that wants to skip even argument construction guards on
+``get_registry().enabled``.  :func:`enable_metrics` installs a live
+registry process-wide; :func:`disable_metrics` restores the null one.
+
+Histograms are fixed-bucket and streaming: an observation lands in one
+bucket counter (plus a running sum/count), quantiles are estimated by
+linear interpolation inside the covering bucket, and two snapshots with
+identical boundaries merge by adding bucket counts — the property the
+concurrency tests assert.
+
+Collectors bridge pull-style sources: :meth:`MetricsRegistry.collect`
+registers a callback (held via weak reference when it is a bound
+method, so a closed server just drops out) that is invoked before every
+:meth:`~MetricsRegistry.snapshot` / :func:`render_prometheus` to copy
+an existing ``stats()`` surface into gauges — hot paths never pay for
+metrics they already count elsewhere.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "disable_metrics",
+    "enable_metrics",
+    "get_registry",
+    "register_global_collector",
+    "render_prometheus",
+    "set_registry",
+]
+
+#: Default bucket upper bounds for latency-style histograms (seconds).
+LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default bucket upper bounds for ratio-style histograms (e.g. the
+#: relative error bound quoted on a degraded answer).
+RATIO_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+_INF = float("inf")
+
+
+class Counter:
+    """Monotonically increasing count (thread-safe)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (thread-safe)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket streaming histogram with interpolated quantiles.
+
+    ``buckets`` are strictly increasing upper bounds; an implicit
+    ``+Inf`` bucket catches the tail.  Observations update one bucket
+    count plus the running sum/count under a lock, so the memory and
+    per-observation cost are constant regardless of how many values
+    stream through.
+    """
+
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, buckets: tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(
+                f"buckets must be non-empty and strictly increasing: {buckets}"
+            )
+        self._lock = threading.Lock()
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> dict:
+        """A point-in-time copy: bucket counts, sum, count, quantiles."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            the_sum = self._sum
+        return {
+            "buckets": list(self.buckets),
+            "counts": counts,
+            "sum": the_sum,
+            "count": total,
+            "p50": _quantile(self.buckets, counts, total, 0.50),
+            "p95": _quantile(self.buckets, counts, total, 0.95),
+            "p99": _quantile(self.buckets, counts, total, 0.99),
+        }
+
+    def quantile(self, q: float) -> float:
+        snap = self.snapshot()
+        return _quantile(
+            tuple(snap["buckets"]), snap["counts"], snap["count"], q
+        )
+
+    @staticmethod
+    def merge(left: dict, right: dict) -> dict:
+        """Merge two :meth:`snapshot` dicts with identical boundaries."""
+        if left["buckets"] != right["buckets"]:
+            raise ValueError("cannot merge histograms with different buckets")
+        counts = [a + b for a, b in zip(left["counts"], right["counts"])]
+        total = left["count"] + right["count"]
+        buckets = tuple(left["buckets"])
+        return {
+            "buckets": list(buckets),
+            "counts": counts,
+            "sum": left["sum"] + right["sum"],
+            "count": total,
+            "p50": _quantile(buckets, counts, total, 0.50),
+            "p95": _quantile(buckets, counts, total, 0.95),
+            "p99": _quantile(buckets, counts, total, 0.99),
+        }
+
+
+def _quantile(
+    buckets: tuple[float, ...], counts: list, total: int, q: float
+) -> float:
+    """Estimate the q-quantile by interpolating inside its bucket.
+
+    The +Inf bucket has no upper edge to interpolate toward, so a
+    quantile landing there reports the last finite boundary (the
+    standard Prometheus ``histogram_quantile`` convention).
+    """
+    if total <= 0:
+        return float("nan")
+    rank = q * total
+    seen = 0.0
+    for i, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if seen + bucket_count >= rank:
+            if i >= len(buckets):
+                return buckets[-1]
+            lo = 0.0 if i == 0 else buckets[i - 1]
+            hi = buckets[i]
+            fraction = (rank - seen) / bucket_count
+            return lo + (hi - lo) * min(1.0, max(0.0, fraction))
+        seen += bucket_count
+    return buckets[-1]
+
+
+# Collectors that outlive any single registry: sources registered while
+# metrics were still off (a store built before enable_metrics), and
+# process-wide singletons like the engine's parse-cache LRU.  Every live
+# registry runs them before its own collectors; bound methods are held
+# weakly so garbage-collected owners drop out.
+_GLOBAL_COLLECTORS: list = []
+_GLOBAL_LOCK = threading.Lock()
+
+
+def register_global_collector(callback) -> None:
+    """Register ``callback(registry)`` with every current/future registry.
+
+    The process-wide counterpart of :meth:`MetricsRegistry.collect`:
+    use it for sources that exist before metrics are enabled or that
+    outlive any particular registry (module-level caches).  Bound
+    methods are weakly referenced.
+    """
+    try:
+        ref = weakref.WeakMethod(callback)
+    except TypeError:
+        ref = None
+    with _GLOBAL_LOCK:
+        _GLOBAL_COLLECTORS.append(ref if ref is not None else callback)
+
+
+class MetricsRegistry:
+    """Instruments addressed by ``(name, labels)`` plus pull collectors."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+        self._collectors: list = []
+
+    @staticmethod
+    def _address(name: str, labels: dict | None) -> tuple:
+        if not labels:
+            return (name, ())
+        return (name, tuple(sorted(labels.items())))
+
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        address = self._address(name, labels)
+        with self._lock:
+            instrument = self._counters.get(address)
+            if instrument is None:
+                instrument = self._counters[address] = Counter()
+        return instrument
+
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        address = self._address(name, labels)
+        with self._lock:
+            instrument = self._gauges.get(address)
+            if instrument is None:
+                instrument = self._gauges[address] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        labels: dict | None = None,
+        buckets: tuple[float, ...] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        address = self._address(name, labels)
+        with self._lock:
+            instrument = self._histograms.get(address)
+            if instrument is None:
+                instrument = self._histograms[address] = Histogram(buckets)
+        return instrument
+
+    # -- pull collectors ----------------------------------------------------
+
+    def collect(self, callback) -> None:
+        """Register ``callback(registry)`` to run before every snapshot.
+
+        Bound methods are held via :class:`weakref.WeakMethod` so a
+        garbage-collected owner (a closed server, an evicted store)
+        silently drops out of the collector list.
+        """
+        try:
+            ref = weakref.WeakMethod(callback)
+        except TypeError:
+            ref = None
+        with self._lock:
+            self._collectors.append(ref if ref is not None else callback)
+
+    def _run_collectors(self) -> None:
+        with _GLOBAL_LOCK:
+            global_collectors = list(_GLOBAL_COLLECTORS)
+        with self._lock:
+            collectors = list(self._collectors)
+        dead = []
+        for entry in global_collectors + collectors:
+            callback = entry() if isinstance(entry, weakref.WeakMethod) else entry
+            if callback is None:
+                dead.append(entry)
+                continue
+            try:
+                callback(self)
+            except Exception:
+                # A broken collector must never take down a snapshot.
+                continue
+        if dead:
+            with self._lock:
+                self._collectors = [
+                    entry for entry in self._collectors if entry not in dead
+                ]
+            with _GLOBAL_LOCK:
+                _GLOBAL_COLLECTORS[:] = [
+                    entry for entry in _GLOBAL_COLLECTORS
+                    if entry not in dead
+                ]
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able point-in-time dump of every instrument.
+
+        Runs the registered collectors first, so pull-style sources
+        (server/store/cache ``stats()``) are as fresh as the pushed
+        counters.
+        """
+        self._run_collectors()
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                _address_text(address): instrument.value
+                for address, instrument in sorted(counters.items())
+            },
+            "gauges": {
+                _address_text(address): instrument.value
+                for address, instrument in sorted(gauges.items())
+            },
+            "histograms": {
+                _address_text(address): instrument.snapshot()
+                for address, instrument in sorted(histograms.items())
+            },
+        }
+
+
+def _address_text(address: tuple) -> str:
+    name, labels = address
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{_escape(value)}"' for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _escape(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == _INF:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: "MetricsRegistry | None" = None) -> str:
+    """The registry rendered in the Prometheus text exposition format.
+
+    One ``# TYPE`` line per metric family, then one sample per
+    ``(labels)`` series; histograms expand to cumulative ``_bucket``
+    series (with the ``le`` label, ``+Inf`` last) plus ``_sum`` and
+    ``_count``.  The output round-trips through any Prometheus
+    text-format parser; ``tests/test_observability.py`` validates the
+    grammar line by line.
+    """
+    if registry is None:
+        registry = get_registry()
+    registry._run_collectors()
+    with registry._lock:
+        counters = sorted(registry._counters.items())
+        gauges = sorted(registry._gauges.items())
+        histograms = sorted(registry._histograms.items())
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for (name, labels), instrument in counters:
+        _type_line(name, "counter")
+        lines.append(
+            f"{_address_text((name, labels))} "
+            f"{_format_value(instrument.value)}"
+        )
+    for (name, labels), instrument in gauges:
+        _type_line(name, "gauge")
+        lines.append(
+            f"{_address_text((name, labels))} "
+            f"{_format_value(instrument.value)}"
+        )
+    for (name, labels), instrument in histograms:
+        _type_line(name, "histogram")
+        snap = instrument.snapshot()
+        cumulative = 0
+        edges = list(snap["buckets"]) + [_INF]
+        for edge, bucket_count in zip(edges, snap["counts"]):
+            cumulative += bucket_count
+            series = labels + (("le", _format_value(edge)),)
+            lines.append(
+                f"{_address_text((name + '_bucket', series))} {cumulative}"
+            )
+        lines.append(
+            f"{_address_text((name + '_sum', labels))} "
+            f"{_format_value(snap['sum'])}"
+        )
+        lines.append(
+            f"{_address_text((name + '_count', labels))} {snap['count']}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- the process-global registry (no-op by default) --------------------------
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    buckets = LATENCY_BUCKETS
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": [0] * (len(self.buckets) + 1),
+            "sum": 0.0,
+            "count": 0,
+            "p50": float("nan"),
+            "p95": float("nan"),
+            "p99": float("nan"),
+        }
+
+    def quantile(self, q: float) -> float:
+        return float("nan")
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """Shared no-op registry: every accessor returns a no-op singleton.
+
+    Instrumented hot paths call ``get_registry()`` unconditionally; with
+    this registry installed the whole metrics pipeline costs one global
+    read plus (at most) one no-op method call.  Paths that want to skip
+    even argument construction branch on :attr:`enabled`.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, labels: dict | None = None) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, labels: dict | None = None) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        labels: dict | None = None,
+        buckets: tuple[float, ...] = LATENCY_BUCKETS,
+    ) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def collect(self, callback) -> None:
+        # Remembered process-wide: a source built while metrics were
+        # off still shows up after enable_metrics().
+        register_global_collector(callback)
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_REGISTRY = NullRegistry()
+
+_active: "MetricsRegistry | NullRegistry" = NULL_REGISTRY
+
+
+def get_registry() -> "MetricsRegistry | NullRegistry":
+    """The process-global registry (the no-op one unless enabled)."""
+    return _active
+
+
+def set_registry(registry: "MetricsRegistry | NullRegistry") -> None:
+    global _active
+    _active = registry
+
+
+def enable_metrics(
+    registry: "MetricsRegistry | None" = None,
+) -> MetricsRegistry:
+    """Install a live registry process-wide and return it."""
+    global _active
+    if registry is None:
+        registry = (
+            _active if isinstance(_active, MetricsRegistry) else MetricsRegistry()
+        )
+    _active = registry
+    return registry
+
+
+def disable_metrics() -> None:
+    """Restore the shared no-op registry."""
+    global _active
+    _active = NULL_REGISTRY

@@ -40,6 +40,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.errors import InvalidParameterError
+from repro.obs import get_registry
 
 #: Seam names used by the built-in hooks (sites are free-form strings;
 #: these constants just keep tests and production code in sync).
@@ -185,6 +186,11 @@ class FaultInjector:
             if not fired:
                 return _EMPTY_PLAN
             self._fired[site] = self._fired.get(site, 0) + 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_faults_fired_total", {"site": site}
+            ).inc()
         return FaultPlan(
             sleep_s=sleep_s,
             error=error,

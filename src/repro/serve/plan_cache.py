@@ -74,13 +74,24 @@ class PlanCache:
         return len(self._plans)
 
     def stats(self) -> dict:
+        """Counters under the normalized cache schema.
+
+        ``entries``/``max_entries`` are the canonical occupancy keys
+        shared with :class:`~repro.serve.answer_cache.AnswerCache`;
+        ``plans``/``max_plans`` remain as backward-compatible aliases.
+        The dict is freshly built per call — mutating it cannot touch
+        live cache state.
+        """
         with self._lock:
             return {
-                "plans": len(self._plans),
-                "max_plans": self.max_plans,
+                "entries": len(self._plans),
+                "max_entries": self.max_plans,
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                # Pre-normalization aliases (kept for existing callers).
+                "plans": len(self._plans),
+                "max_plans": self.max_plans,
             }
 
     def clear(self) -> None:

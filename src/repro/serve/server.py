@@ -109,6 +109,10 @@ from repro.errors import (
     QueryExecutionError,
     ServerOverloadedError,
 )
+from repro.obs import RATIO_BUCKETS, get_registry
+from repro.obs.trace import Trace, activate, deactivate
+from repro.obs.trace import span as _span
+from repro.obs.trace import trace_buffer
 from repro.serve.answer_cache import AnswerCache, answer_key
 from repro.serve.faults import (
     NO_FAULTS,
@@ -140,7 +144,10 @@ _POLICY_ERRORS = (CircuitOpenError, DeadlineExceededError, ServerOverloadedError
 class _Request:
     """One submitted query waiting on its future."""
 
-    __slots__ = ("sql", "query", "table", "ranges", "future", "deadline", "deadline_ms")
+    __slots__ = (
+        "sql", "query", "table", "ranges", "future", "deadline",
+        "deadline_ms", "trace",
+    )
 
     def __init__(
         self,
@@ -151,6 +158,7 @@ class _Request:
         future: Future,
         deadline: float | None,
         deadline_ms: float | None,
+        trace: Trace | None = None,
     ) -> None:
         self.sql = sql
         self.query = query
@@ -159,6 +167,7 @@ class _Request:
         self.future = future
         self.deadline = deadline  # absolute time.monotonic() cutoff
         self.deadline_ms = deadline_ms
+        self.trace = trace  # per-query span record (None when tracing is off)
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -279,6 +288,10 @@ class QueryServer:
             )
             for i in range(n_workers)
         ]
+        # Pull-style metrics: the active registry harvests stats() at
+        # snapshot time (weakly referenced — a dropped server detaches
+        # itself).  A no-op when metrics are disabled.
+        get_registry().collect(self.publish_metrics)
         # Snapshot before starting: an injected worker death can respawn
         # a replacement (already started) into self._workers while this
         # loop is still running.
@@ -323,7 +336,12 @@ class QueryServer:
             else None
         )
         future: Future = Future()
-        request = _Request(text, query, table, ranges, future, deadline, effective_ms)
+        buffer = trace_buffer()
+        trace = Trace(text) if buffer is not None else None
+        request = _Request(
+            text, query, table, ranges, future, deadline, effective_ms,
+            trace=trace,
+        )
         shed_request = None
         rejected = False
         with self._cond:
@@ -358,6 +376,7 @@ class QueryServer:
                         "admit a newer one"
                     )
                 )
+            self._finish_trace(shed_request, outcome="shed")
         return future
 
     def _pop_oldest_locked(self) -> _Request:
@@ -448,6 +467,7 @@ class QueryServer:
                         "before execution began"
                     )
                 )
+            self._finish_trace(request, outcome="deadline_missed")
         if expired:
             with self._stats_lock:
                 self._deadline_missed += len(expired)
@@ -465,32 +485,94 @@ class QueryServer:
             for aggregate in request.query.aggregates:
                 unique.setdefault(str(aggregate), aggregate)
         outcomes: dict[str, tuple[bool, object, bool, str | None]] = {}
-        for label, aggregate in unique.items():
-            try:
-                value, cached, degraded_reason = self._answer_aggregate(
-                    first.table,
-                    aggregate,
-                    first.ranges,
-                    first.query,
-                    equalities,
-                    batch_deadline,
-                )
-                outcomes[label] = (True, value, cached, degraded_reason)
-            except Exception as exc:
-                # Any failure — ReproError or not (e.g. KeyError for an
-                # unseen group value) — must reach the caller's future,
-                # never kill the worker thread.
-                outcomes[label] = (False, exc, False, None)
+        # Deep layers (store retry loop, batched evaluator) record spans
+        # into the batch leader's trace via the thread-local hookup;
+        # coalesced followers share the leader's computation, so their
+        # traces carry the admission/serve envelope only.
+        leader_trace = first.trace
+        if leader_trace is not None:
+            leader_trace._depth = 2  # children of the "serve" span
+            activate(leader_trace)
+        try:
+            for label, aggregate in unique.items():
+                try:
+                    value, cached, degraded_reason = self._answer_aggregate(
+                        first.table,
+                        aggregate,
+                        first.ranges,
+                        first.query,
+                        equalities,
+                        batch_deadline,
+                    )
+                    outcomes[label] = (True, value, cached, degraded_reason)
+                except Exception as exc:
+                    # Any failure — ReproError or not (e.g. KeyError for
+                    # an unseen group value) — must reach the caller's
+                    # future, never kill the worker thread.
+                    outcomes[label] = (False, exc, False, None)
+        finally:
+            if leader_trace is not None:
+                deactivate()
+                leader_trace._depth = 1
         elapsed = time.perf_counter() - start
         with self._stats_lock:
             self._batches += 1
             self._coalesced += len(requests) - 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram("repro_serve_batch_seconds").observe(elapsed)
+            registry.counter("repro_serve_batch_requests_total").inc(
+                len(requests)
+            )
         for request in requests:
             try:
                 self._resolve_request(request, outcomes, elapsed)
             except BaseException as exc:  # never strand a caller
                 if not request.future.done():
                     request.future.set_exception(exc)
+            self._finish_trace(request, batch_start=start)
+
+    def _finish_trace(
+        self,
+        request: _Request,
+        outcome: str | None = None,
+        batch_start: float | None = None,
+    ) -> None:
+        """Close a request's trace and push it into the ring buffer.
+
+        ``batch_start`` is the worker-side processing start: the trace
+        gets an ``admission.wait`` span (submit to dequeue) and a
+        ``serve`` span (dequeue to resolution) whose endpoints are
+        shared with the root, so the top-level spans sum to the trace's
+        wall time exactly.  Requests that never reached a worker (shed,
+        deadline-expired) record only the wait.
+        """
+        trace = request.trace
+        if trace is None:
+            return
+        end = time.perf_counter()
+        wait_end = batch_start if batch_start is not None else end
+        trace.add_span("admission.wait", trace.t0, wait_end, depth=1)
+        if batch_start is not None:
+            trace.add_span("serve", batch_start, end, depth=1)
+        if outcome is None:
+            future = request.future
+            if future.done():
+                error = future.exception()
+                if error is not None:
+                    outcome = f"error:{type(error).__name__}"
+                else:
+                    outcome = future.result().source
+        trace.outcome = outcome
+        trace.finish(end)
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram("repro_serve_query_seconds").observe(
+                trace.wall_s
+            )
+        buffer = trace_buffer()
+        if buffer is not None:
+            buffer.add(trace)
 
     def _sweep_stale_answers(self) -> None:
         """Evict answer-cache entries whose models changed.
@@ -557,6 +639,11 @@ class QueryServer:
             # fallback engine or raises exactly as sequential execution.
             with self._stats_lock:
                 self._fallbacks += 1
+            trace = request.trace
+            if trace is not None:
+                fallback_start = time.perf_counter()
+                trace._depth = 3  # children of the fallback span
+                activate(trace)
             try:
                 with self._fallback_locks(request):
                     result = self.engine.execute(request.query)
@@ -564,6 +651,16 @@ class QueryServer:
                 request.future.set_result(result)
             except Exception as exc:
                 request.future.set_exception(exc)
+            finally:
+                if trace is not None:
+                    deactivate()
+                    trace._depth = 1
+                    trace.add_span(
+                        "fallback.execute",
+                        fallback_start,
+                        time.perf_counter(),
+                        depth=2,
+                    )
             return
         # Coalesced batch-mates must not share mutable group-by dicts:
         # one caller mutating its QueryResult would corrupt the others'.
@@ -621,7 +718,8 @@ class QueryServer:
         # already stale and the entry is never served (callers each
         # copy dicts per consumer, so copy=False skips a double copy).
         version = getattr(self.engine.catalog, "version", 0)
-        value = self.answer_cache.get(key, version=version, copy=False)
+        with _span("answer_cache.lookup"):
+            value = self.answer_cache.get(key, version=version, copy=False)
         if not AnswerCache.missing(value):
             return value, True, None
         if not self._breaker_allows(model_key):
@@ -682,22 +780,29 @@ class QueryServer:
                 flight, table, aggregate, ranges, query, deadline
             )
         try:
-            with self._model_lock(model_key):
+            with _span("model_lock.wait"):
+                lock = self._model_lock(model_key)
+                lock.acquire()
+            try:
                 # A worker serving a lookalike batch may have filled the
                 # entry while this one waited for the model lock.
-                value = self.answer_cache.get(
-                    key, version=version, record=False, copy=False
-                )
+                with _span("answer_cache.lookup"):
+                    value = self.answer_cache.get(
+                        key, version=version, record=False, copy=False
+                    )
                 cached = not AnswerCache.missing(value)
                 if not cached:
                     started = time.perf_counter()
-                    value = self.engine.answer_one(
-                        table, aggregate, ranges, query
-                    )
+                    with _span("evaluator.answer"):
+                        value = self.engine.answer_one(
+                            table, aggregate, ranges, query
+                        )
                     self._note_latency(
                         model_key, time.perf_counter() - started
                     )
                     self.answer_cache.put(key, value, version=version)
+            finally:
+                lock.release()
         except BaseException as exc:
             with self._inflight_guard:
                 self._inflight.pop(key, None)
@@ -739,7 +844,8 @@ class QueryServer:
         if deadline is not None:
             timeout = max(0.0, deadline - time.monotonic())
         try:
-            value = flight.result(timeout=timeout)
+            with _span("single_flight.wait"):
+                value = flight.result(timeout=timeout)
         except _FutureTimeout:
             raise DeadlineExceededError(
                 "deadline expired while waiting on an identical in-flight "
@@ -781,15 +887,27 @@ class QueryServer:
                 f"{reason}; degraded answering is disabled (degrade=False)"
             )
         try:
-            value, route = self.engine.answer_degraded(
-                table, aggregate, ranges, query
-            )
+            with _span("degrade.answer"):
+                value, route = self.engine.answer_degraded(
+                    table, aggregate, ranges, query
+                )
         except Exception as degrade_exc:
             if original is not None:
                 raise original from degrade_exc
             raise
         with self._stats_lock:
             self._degraded += 1
+        registry = get_registry()
+        if registry.enabled:
+            # The accuracy contract of a degraded answer: how large an
+            # error bound was quoted each time the advisor took over.
+            registry.counter(
+                "repro_serve_degraded_total", {"engine": route.engine}
+            ).inc()
+            registry.histogram(
+                "repro_serve_degraded_error_bound",
+                buckets=RATIO_BUCKETS,
+            ).observe(float(route.error_bound or 0.0))
         detail = f"{reason}; served by {route.engine}"
         if route.error_bound:
             detail += f" (relative error bound ~{route.error_bound:.3f})"
@@ -839,6 +957,11 @@ class QueryServer:
                 breaker.probing = False
                 if not was_open:
                     self._breaker_opens += 1
+                    registry = get_registry()
+                    if registry.enabled:
+                        registry.counter(
+                            "repro_serve_breaker_opens_total"
+                        ).inc()
 
     def _note_latency(self, model_key: ModelKey, elapsed: float) -> None:
         """Fold one model-path latency into the key's EWMA."""
@@ -959,4 +1082,43 @@ class QueryServer:
         if isinstance(self.engine.catalog, ModelStore):
             stats["store"] = self.engine.catalog.stats()
             stats["retried"] = stats["store"].get("retries", 0)
+        if self._faults is not NO_FAULTS:
+            stats["faults"] = self._faults.stats()
         return stats
+
+    def publish_metrics(self, registry) -> None:
+        """Copy the serving counters into ``registry`` as gauges.
+
+        Registered as a pull collector (see :mod:`repro.obs`): runs at
+        snapshot/exposition time, so the hot serving paths pay nothing
+        for the retrofit of the pre-registry ``stats()`` counters.
+        """
+        stats = self.stats()
+        for key in (
+            "queries", "batches", "coalesced", "engine_calls", "fallbacks",
+            "shed", "deadline_missed", "degraded", "single_flight",
+            "worker_deaths", "invalidated", "queued",
+        ):
+            registry.gauge(f"repro_serve_{key}").set(stats[key])
+        registry.gauge("repro_serve_breaker_opens").set(
+            stats["breaker"]["opens"]
+        )
+        registry.gauge("repro_serve_breaker_open").set(
+            stats["breaker"]["open"]
+        )
+        for layer in ("plan_cache", "answer_cache"):
+            for key in ("entries", "max_entries", "hits", "misses",
+                        "evictions"):
+                registry.gauge(f"repro_{layer}_{key}").set(stats[layer][key])
+        if "store" in stats:
+            for key, value in stats["store"].items():
+                registry.gauge(f"repro_store_{key}").set(value)
+        with self._stats_lock:
+            latency = dict(self._latency)
+        for model_key, ewma in latency.items():
+            label = f"{model_key.table}/{','.join(model_key.x_columns)}"
+            if model_key.y_column:
+                label += f"->{model_key.y_column}"
+            registry.gauge(
+                "repro_serve_model_latency_ewma_seconds", {"model": label}
+            ).set(ewma)

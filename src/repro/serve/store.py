@@ -138,6 +138,8 @@ from repro.core.catalog import (
 from repro.core.config import DBEstConfig
 from repro.core.groupby import GroupByModelSet
 from repro.errors import CatalogError, CorruptRecordError, ModelNotFoundError
+from repro.obs import get_registry
+from repro.obs.trace import span as _span
 from repro.serve.faults import NO_FAULTS, STORE_LOAD, FaultInjector
 
 MANIFEST_MAGIC = b"DBESTMAN"
@@ -499,6 +501,10 @@ class ModelStore:
         self._loads = 0
         self._evictions = 0
         self._retries_used = 0
+        # Pull-style metrics: the active registry harvests stats() at
+        # snapshot time (no-op when metrics are disabled; the reference
+        # is weak, so a dropped store handle detaches itself).
+        get_registry().collect(self.publish_metrics)
 
     # -- writing -----------------------------------------------------------
 
@@ -690,6 +696,12 @@ class ModelStore:
             manifest_tmp = self.path / (_MANIFEST_NAME + ".tmp")
             manifest_tmp.write_bytes(manifest_payload)
             os.replace(manifest_tmp, self.path / _MANIFEST_NAME)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repro_store_generations_published_total").inc()
+            registry.counter(
+                "repro_store_refresh_bytes_total"
+            ).inc(record.nbytes)
         return record
 
     def prune(self) -> list[str]:
@@ -708,16 +720,25 @@ class ModelStore:
         with _MAPPINGS_LOCK:
             live = {mapping.path for mapping in _LIVE_MAPPINGS}
         removed: list[str] = []
+        pinned = 0
         for stale in sorted(records_dir.glob("*.model")):
             if stale.name in keep:
                 continue
             try:
                 if stale.resolve() in live:
+                    pinned += 1
                     continue
                 stale.unlink()
             except OSError:  # pragma: no cover - raced unlink
                 continue
             removed.append(stale.name)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_store_generations_pruned_total"
+            ).inc(len(removed))
+            registry.gauge("repro_store_generations_live").set(len(keep))
+            registry.gauge("repro_store_generations_pinned").set(pinned)
         return removed
 
     def generations(self) -> dict:
@@ -955,22 +976,35 @@ class ModelStore:
         transient ``OSError`` with jittered exponential backoff (fault
         hooks fire per attempt)."""
         attempts = self.retries + 1
+        registry = get_registry()
         for attempt in range(attempts):
             try:
-                plan = self._faults.plan(STORE_LOAD)
-                if plan.sleep_s:
-                    time.sleep(plan.sleep_s)
-                plan.raise_if_error()
-                if nbytes is None:
-                    data = record_path.read_bytes()
-                else:
-                    with open(record_path, "rb") as fh:
-                        data = fh.read(nbytes)
-                if plan.corrupt:
-                    data = FaultInjector.corrupt_bytes(data)
+                with _span(
+                    "store.load" if attempt == 0
+                    else f"store.load.retry{attempt}"
+                ):
+                    plan = self._faults.plan(STORE_LOAD)
+                    if plan.sleep_s:
+                        time.sleep(plan.sleep_s)
+                    plan.raise_if_error()
+                    if nbytes is None:
+                        data = record_path.read_bytes()
+                    else:
+                        with open(record_path, "rb") as fh:
+                            data = fh.read(nbytes)
+                    if plan.corrupt:
+                        data = FaultInjector.corrupt_bytes(data)
+                if registry.enabled:
+                    registry.counter("repro_store_load_attempts_total").inc()
                 return data
             except OSError as exc:
+                if registry.enabled:
+                    registry.counter("repro_store_load_attempts_total").inc()
                 if attempt + 1 >= attempts:
+                    if registry.enabled:
+                        registry.counter(
+                            "repro_store_load_failures_total"
+                        ).inc()
                     raise CatalogError(
                         f"store record {record_path} failed to read after "
                         f"{attempts} attempt(s): {exc}"
@@ -983,8 +1017,11 @@ class ModelStore:
                 )
                 with self._lock:
                     self._retries_used += 1
+                if registry.enabled:
+                    registry.counter("repro_store_retries_total").inc()
                 if backoff_s > 0.0:
-                    time.sleep(backoff_s)
+                    with _span("store.retry_backoff"):
+                        time.sleep(backoff_s)
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _quarantine(
@@ -1233,7 +1270,23 @@ class ModelStore:
                 "evictions": self._evictions,
                 "retries": self._retries_used,
                 "quarantined": len(self._quarantined),
+                # Normalized cache-schema aliases (shared with the
+                # answer/plan caches): occupancy and byte footprint.
+                "entries": len(self._records),
+                "bytes": self._resident_bytes,
             }
+
+    def publish_metrics(self, registry) -> None:
+        """Pull collector: copy :meth:`stats` into ``repro_store_*``.
+
+        Registered in ``__init__`` via ``registry.collect`` (weakly —
+        a dropped store detaches itself); runs at snapshot/exposition
+        time, so the load path never dual-writes occupancy numbers.
+        """
+        for key, value in self.stats().items():
+            if key in ("entries", "bytes"):
+                continue  # aliases of models / resident_bytes
+            registry.gauge(f"repro_store_{key}").set(float(value))
 
     def __repr__(self) -> str:
         return (

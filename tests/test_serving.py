@@ -253,8 +253,10 @@ class TestPlanCache:
                     validate=False)
         stats = cache.stats()
         assert stats == {
-            "plans": 1, "max_plans": 256, "hits": 1, "misses": 1,
+            "entries": 1, "max_entries": 256, "hits": 1, "misses": 1,
             "evictions": 0,
+            # legacy aliases, kept for dashboards scripted against them
+            "plans": 1, "max_plans": 256,
         }
         # A different shape (string literal vs number) is its own plan.
         cache.parse("SELECT AVG(y) FROM t WHERE x BETWEEN 10 AND 20 AND "
